@@ -1,0 +1,108 @@
+"""§4 equations — refit the paper's functional forms to simulated data.
+
+The paper fits ``T_local = 11.5 X`` and
+``T_grid = b X + c + (d + e X)/N`` with (b, c, d, e) =
+(0.338, 53, 62, 5.3).  We sweep the simulator over (X, N), refit the same
+forms, and compare coefficients.  Exact coefficient equality is not
+expected (the paper's printed equations disagree with its own tables; our
+simulator is calibrated to the tables) — the targets are sign, order of
+magnitude, and the two §4 conclusions:
+
+1. the WAN term makes local transfers dominate for large X, so the grid
+   wins beyond a small crossover size;
+2. the grid analysis term scales like 1/N.
+
+Known paper inconsistencies surfaced here (details in EXPERIMENTS.md):
+the printed local slope 11.5 s/MB implies a 90-minute local total for
+471 MB, double its own Table 1 (45 min -> 5.74 s/MB); and the printed
+per-node fixed term "62 s" is really the X-dependent part-transfer time
+evaluated at X = 471.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.model import PaperModel, fit_grid_model, fit_local_model
+from repro.bench.tables import ComparisonTable
+from repro.core.experiment import run_grid_experiment, run_local_experiment
+
+SIZES = (20.0, 50.0, 120.0, 250.0, 471.0)
+NODES = (1, 2, 4, 8, 16)
+
+
+def sweep():
+    local = [(x, run_local_experiment(x).total) for x in SIZES]
+    grid = []
+    for x in SIZES:
+        for n in NODES:
+            breakdown = run_grid_experiment(
+                x, n, events_per_mb=2, collect_tree=False
+            )
+            grid.append((x, n, breakdown.total))
+    return local, grid
+
+
+def test_equations(benchmark, report):
+    local, grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    local_slope, local_residual = fit_local_model(
+        [x for x, _ in local], [t for _, t in local]
+    )
+    fitted, grid_residual = fit_grid_model(
+        [x for x, _, _ in grid],
+        [n for _, n, _ in grid],
+        [t for _, _, t in grid],
+    )
+    paper = PaperModel()
+
+    table = ComparisonTable(
+        "Fitted cost-model coefficients (paper vs refit of simulated data)",
+        ["coefficient", "meaning", "paper", "ours"],
+    )
+    table.add_row("a [s/MB]", "local total per MB", "11.5", f"{local_slope:.2f}")
+    table.add_row(
+        "b [s/MB]", "grid per-MB (staging)", "0.338", f"{fitted.grid_per_mb:.3f}"
+    )
+    table.add_row("c [s]", "grid fixed", "53", f"{fitted.grid_fixed:.1f}")
+    table.add_row(
+        "d [s]", "grid per-node fixed", "62", f"{fitted.grid_per_node_fixed:.1f}"
+    )
+    table.add_row(
+        "e [s/MB]",
+        "grid per-node per-MB (analysis)",
+        "5.3",
+        f"{fitted.grid_per_node_per_mb:.2f}",
+    )
+    crossover_rows = "\n".join(
+        f"  N={n:2d}: paper {paper.crossover_size(n):7.1f} MB | "
+        f"ours {fitted.crossover_size(n):7.1f} MB"
+        for n in NODES
+    )
+    report(
+        "equations",
+        table.render()
+        + f"\nfit residuals: local {local_residual:.1f} s, grid {grid_residual:.1f} s"
+        + "\ncrossover size (grid wins above):\n"
+        + crossover_rows,
+    )
+
+    # Local slope: our simulator is calibrated to Table 1 (32 min WAN +
+    # 13 min CPU for 471 MB => 5.74 s/MB).  The paper's printed 11.5 s/MB
+    # contradicts its own Table 1 by 2x (11.5 * 471 = 90 min, not 45 min);
+    # we reproduce the table-consistent value.
+    assert local_slope == pytest.approx(5.74, rel=0.05)
+    # Grid coefficients: right sign and magnitude.
+    assert 0.2 < fitted.grid_per_mb < 0.6       # paper 0.338 (or 0.38 summed)
+    assert 0 < fitted.grid_fixed < 120          # paper 53
+    # The paper folded the X-dependent part-transfer time (X/7.6 at
+    # X = 471 -> "62 s") into its per-node *fixed* term d; the refit over
+    # many sizes correctly attributes it to the per-node per-MB term e, so
+    # our d is ~0 and our e ~= 0.58 (analysis) + 0.13 (part transfer).
+    assert abs(fitted.grid_per_node_fixed) < 140
+    assert 0.2 < fitted.grid_per_node_per_mb < 2.0
+    # Conclusion 1: grid wins beyond a small crossover.
+    for n in (4, 16):
+        assert fitted.crossover_size(n) < 40.0
+    # Conclusion 2: the analysis term scales ~1/N (the functional form fits
+    # with a small residual).
+    assert grid_residual < 15.0

@@ -1,0 +1,97 @@
+"""Figure 5 — analysis-time surfaces T(X, N): local (gold) vs grid (blue).
+
+The paper's surface plot shows the grid dipping below the local baseline
+for large datasets and node counts, with local winning only for small X.
+We regenerate the same two surfaces twice:
+
+* from the paper's analytic model (exact reproduction of the figure's
+  inputs), and
+* from full simulator runs on a coarser lattice,
+
+and print the grid-wins/local-wins map plus the crossover contour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.model import PaperModel
+from repro.bench.surface import compute_surfaces
+from repro.bench.tables import ComparisonTable
+from repro.core.experiment import run_grid_experiment, run_local_experiment
+
+SIM_SIZES = (2.0, 5.0, 10.0, 50.0, 150.0, 471.0, 1000.0)
+SIM_NODES = (1, 2, 4, 8, 16, 32)
+
+
+def simulate_surfaces():
+    local_cache = {}
+
+    def local_fn(size):
+        if size not in local_cache:
+            local_cache[size] = run_local_experiment(size).total
+        return local_cache[size]
+
+    def grid_fn(size, nodes):
+        return run_grid_experiment(
+            size, nodes, events_per_mb=2, collect_tree=False
+        ).total
+
+    return compute_surfaces(SIM_SIZES, SIM_NODES, local_fn, grid_fn)
+
+
+def test_figure5(benchmark, report):
+    simulated = benchmark.pedantic(simulate_surfaces, rounds=1, iterations=1)
+    analytic = compute_surfaces(
+        np.linspace(1, 1000, 200), SIM_NODES, model=PaperModel()
+    )
+
+    table = ComparisonTable(
+        "Figure 5: simulated T(X, N) in seconds (local | grid)",
+        ["X [MB]"] + [f"N={n}" for n in SIM_NODES],
+    )
+    for i, size in enumerate(SIM_SIZES):
+        table.add_row(
+            f"{size:.0f}",
+            *(
+                f"{simulated.local[i, j]:.0f}|{simulated.grid[i, j]:.0f}"
+                for j in range(len(SIM_NODES))
+            ),
+        )
+    crossover = "\n".join(
+        f"  N={int(n):2d}: analytic {a:7.1f} MB | simulated {s:7.1f} MB"
+        for n, a, s in zip(
+            SIM_NODES, analytic.crossover_mb, simulated.crossover_mb
+        )
+    )
+    report(
+        "figure5",
+        table.render()
+        + "\n\n"
+        + simulated.render_ascii()
+        + "\n\ncrossover contour (grid wins above):\n"
+        + crossover,
+    )
+    # Plot-ready CSV alongside the text table.
+    from pathlib import Path
+
+    out_dir = Path(__file__).parent / "out"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "figure5.csv").write_text(simulated.to_csv() + "\n")
+
+    wins = simulated.grid_wins()
+    sizes = list(SIM_SIZES)
+    # Local wins the bottom-left corner (tiny dataset, any N).
+    assert not wins[0, 0]
+    assert not wins[sizes.index(2.0), SIM_NODES.index(16)]
+    # Grid wins decisively for the large datasets at many nodes.
+    assert wins[sizes.index(471.0), SIM_NODES.index(16)]
+    assert wins[sizes.index(1000.0), SIM_NODES.index(32)]
+    # Even one grid node beats local for very large X (WAN vs LAN).
+    assert wins[sizes.index(1000.0), SIM_NODES.index(1)]
+    # Local is flat in N; grid decreases with N for big X.
+    big = sizes.index(471.0)
+    assert np.allclose(simulated.local[big, :], simulated.local[big, 0])
+    assert simulated.grid[big, -1] < simulated.grid[big, 0]
+    # Crossover sizes: small (order 10 MB), finite for every N.
+    assert np.all(np.isfinite(simulated.crossover_mb))
+    assert np.all(simulated.crossover_mb < 50.0)

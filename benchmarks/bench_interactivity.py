@@ -1,0 +1,88 @@
+"""§1 claim — interactivity: "partial results on time scales of less than
+a minute".
+
+Measures time-to-first-merged-snapshot (from pressing "run" to the first
+poll returning non-empty partial results) as a function of node count and
+snapshot cadence, on the paper's 471 MB workload.  The paper's definition
+of interactive is < 60 s.
+"""
+
+import pytest
+
+from repro.analysis import counting
+from repro.bench.tables import ComparisonTable
+from repro.client.client import IPAClient
+from repro.core.config import Calibration
+from repro.core.site import GridSite, SiteConfig
+
+SIZE_MB = 471.0
+NODES = (4, 16)
+CHUNKS = (250, 500, 1000)
+
+
+def time_to_first_result(n_nodes: int, chunk_events: int) -> float:
+    calibration = Calibration(chunk_events=chunk_events)
+    site = GridSite(SiteConfig(n_workers=n_nodes), calibration)
+    site.register_dataset(
+        "ds",
+        "/exp/ds",
+        size_mb=SIZE_MB,
+        n_events=40_000,  # realistic density: ~85 events/MB
+        content={"kind": "ilc", "seed": 9},
+    )
+    client = IPAClient(site, site.enroll_user("/CN=user"))
+    outcome = {}
+
+    def scenario():
+        env = site.env
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds")
+        yield from client.upload_code(counting.SOURCE)
+        started = env.now
+        yield from client.run()
+        while True:
+            yield env.timeout(1.0)
+            result = yield from client.poll()
+            if result.progress.events_processed > 0:
+                outcome["t_first"] = env.now - started
+                return
+
+    site.env.run(until=site.env.process(scenario()))
+    return outcome["t_first"]
+
+
+def sweep():
+    return {
+        (n, chunk): time_to_first_result(n, chunk)
+        for n in NODES
+        for chunk in CHUNKS
+    }
+
+
+def test_interactivity(benchmark, report):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = ComparisonTable(
+        "Time to first merged partial result, 471 MB (seconds)",
+        ["nodes"] + [f"chunk={c} events" for c in CHUNKS],
+    )
+    for n in NODES:
+        table.add_row(n, *(f"{results[(n, c)]:.1f}" for c in CHUNKS))
+    report(
+        "interactivity",
+        table.render() + "\npaper's interactivity bar: < 60 s (§1)",
+    )
+
+    # The paper's headline claim holds for fine-grained chunks; the
+    # per-pass serial overhead (fitted from Table 2) is the floor.
+    assert results[(16, CHUNKS[0])] < 60.0
+    assert results[(4, CHUNKS[0])] < 60.0
+    # Even the coarsest setting stays within a factor ~1.5 of the bar.
+    assert results[(16, CHUNKS[-1])] < 90.0
+    # Smaller chunks give faster feedback (at fixed N).
+    for n in NODES:
+        assert results[(n, CHUNKS[0])] <= results[(n, CHUNKS[-1])] + 1e-9
+    # First-result latency is roughly independent of N: the first chunk is
+    # a fixed event count per engine, so only the (slightly larger) merge
+    # cost varies with node count.
+    assert abs(results[(16, 500)] - results[(4, 500)]) < 5.0

@@ -1,0 +1,94 @@
+"""§2.5 ablation — flat merging vs a sub-merger tree at the AIDA manager.
+
+"The component that performs the merging and displaying of analysis
+results will become a bottleneck if there are a large number of users.
+The system should be adaptable in such situations by being able to
+accommodate a sub-level of components that performs the merging" (§2.5).
+
+We measure the simulated merge latency per poll as the engine count grows,
+for the flat merger and for sub-merger trees of fan-in 2, 4 and 8, and
+run a full end-to-end session at each extreme to confirm results are
+bit-identical regardless of merge topology.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aida.tree import ObjectTree
+from repro.analysis import counting
+from repro.bench.tables import ComparisonTable
+from repro.client.client import IPAClient
+from repro.core.site import GridSite, SiteConfig
+from repro.services.aida_manager import AIDAManagerService
+from repro.sim import Environment
+
+ENGINE_COUNTS = (4, 16, 64, 256)
+FAN_INS = (None, 8, 4, 2)
+
+
+def latency_matrix():
+    env = Environment()
+    matrix = {}
+    for fan_in in FAN_INS:
+        manager = AIDAManagerService(env, merge_cost_per_tree=0.05, fan_in=fan_in)
+        for count in ENGINE_COUNTS:
+            matrix[(fan_in, count)] = manager.merge_latency(count)
+    return matrix
+
+
+def end_to_end_tree(fan_in):
+    site = GridSite(SiteConfig(n_workers=8, merge_fan_in=fan_in))
+    site.register_dataset(
+        "ds", "/x/ds", size_mb=30.0, n_events=2000,
+        content={"kind": "ilc", "seed": 4},
+    )
+    client = IPAClient(site, site.enroll_user("/CN=u"))
+    result = {}
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds")
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=3.0)
+        result["tree"] = final.tree
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+    return result["tree"]
+
+
+def run_all():
+    return latency_matrix(), end_to_end_tree(None), end_to_end_tree(2)
+
+
+def test_merge_tree(benchmark, report):
+    matrix, flat_tree, tree_tree = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    table = ComparisonTable(
+        "Merge latency per poll vs engine count (seconds; 0.05 s per tree)",
+        ["engines"] + [
+            "flat" if fan_in is None else f"fan-in {fan_in}"
+            for fan_in in FAN_INS
+        ],
+    )
+    for count in ENGINE_COUNTS:
+        table.add_row(
+            count, *(f"{matrix[(f, count)]:.2f}" for f in FAN_INS)
+        )
+    report("merge_tree", table.render())
+
+    # Flat merging grows linearly; trees grow logarithmically.
+    assert matrix[(None, 256)] == pytest.approx(0.05 * 256)
+    assert matrix[(4, 256)] == pytest.approx(0.05 * 4 * 4)  # log4(256)=4
+    assert matrix[(4, 256)] < matrix[(None, 256)] / 10
+    # Deeper trees win at scale over flat, and fan-in trades depth/width.
+    for count in (64, 256):
+        assert matrix[(8, count)] < matrix[(None, count)]
+    # Merge topology must not change the physics: identical merged output.
+    flat_hist = flat_tree.get("/counts/multiplicity")
+    tree_hist = tree_tree.get("/counts/multiplicity")
+    assert flat_hist.entries == tree_hist.entries == 2000
+    assert np.allclose(flat_hist.heights(), tree_hist.heights())

@@ -1,0 +1,80 @@
+"""Table 1 — local vs Grid (16 nodes) wall-clock breakdown, X = 471 MB.
+
+Paper values (for the 471 MB Linear-Collider dataset, 15 kB of code):
+
+    ============================  =========  ==============
+    phase                         Local      Grid (16)
+    ============================  =========  ==============
+    Get dataset (over WAN)        32 min     -
+    Stage dataset (LAN)           -          174 s
+    Stage code                    -          7 s
+    Analysis                      13 min     258 s
+    Total                         45 min     4 m 19 s
+    ============================  =========  ==============
+
+(The paper's own grid column does not sum to its printed total; see
+EXPERIMENTS.md.  The shape targets asserted here: the staging phases match
+the Table 2 row for N = 16, the local total is ~45 min, and the grid is
+many times faster end-to-end.)
+"""
+
+import pytest
+
+from repro.bench.tables import ComparisonTable, format_seconds
+from repro.core.experiment import run_grid_experiment, run_local_experiment
+
+SIZE_MB = 471.0
+NODES = 16
+
+
+def run_both():
+    grid = run_grid_experiment(
+        SIZE_MB, NODES, events_per_mb=5, collect_tree=False
+    )
+    local = run_local_experiment(SIZE_MB)
+    return local, grid
+
+
+def test_table1(benchmark, report):
+    local, grid = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    table = ComparisonTable(
+        "Table 1: local vs Grid(16) for a 471 MB dataset (paper | measured)",
+        ["phase", "paper local", "ours local", "paper grid", "ours grid"],
+    )
+    table.add_row(
+        "get dataset (WAN)", "32 m 00 s", format_seconds(local.download), "-", "-"
+    )
+    table.add_row(
+        "stage dataset (LAN)", "-", "-", "174 s",
+        format_seconds(grid.stage_dataset),
+    )
+    table.add_row("stage code", "-", "-", "7 s", format_seconds(grid.stage_code))
+    table.add_row(
+        "analysis",
+        "13 m 00 s",
+        format_seconds(local.analysis),
+        "258 s",
+        format_seconds(grid.analysis),
+    )
+    table.add_row(
+        "total",
+        "45 m 00 s",
+        format_seconds(local.total),
+        "4 m 19 s",
+        format_seconds(grid.total),
+    )
+    speedup = local.total / grid.total
+    report(
+        "table1",
+        table.render()
+        + f"\nend-to-end grid speedup: {speedup:.1f}x (paper: ~10x)",
+    )
+
+    # Shape assertions: who wins and by roughly what factor.
+    assert local.download == pytest.approx(32 * 60, rel=0.05)
+    assert local.analysis == pytest.approx(13 * 60, rel=0.05)
+    assert local.total == pytest.approx(45 * 60, rel=0.05)
+    assert grid.stage_code == pytest.approx(7.0, abs=1.5)
+    assert grid.total < local.total / 5  # grid wins decisively
+    assert 5 < speedup < 15  # paper: ~10x

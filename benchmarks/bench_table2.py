@@ -1,0 +1,79 @@
+"""Table 2 — staging and analysis vs node count, X = 471 MB.
+
+Paper values::
+
+    nodes   move whole   split   move parts   analysis
+        1         63 s   120 s        105 s      330 s
+        2         63 s   120 s         77 s      287 s
+        4         63 s   115 s         70 s      190 s
+        8         63 s   117 s         65 s      148 s
+       16         63 s   124 s         50 s       78 s
+
+Shape targets: move-whole flat in N; split nearly flat; move-parts mildly
+decreasing (nothing like 1/N — the serial SE disk pass dominates); analysis
+strongly decreasing, ~4x from 1 to 16 nodes.
+"""
+
+import pytest
+
+from repro.bench.tables import ComparisonTable
+from repro.core.experiment import run_grid_experiment
+
+SIZE_MB = 471.0
+NODE_COUNTS = (1, 2, 4, 8, 16)
+PAPER = {
+    1: (63, 120, 105, 330),
+    2: (63, 120, 77, 287),
+    4: (63, 115, 70, 190),
+    8: (63, 117, 65, 148),
+    16: (63, 124, 50, 78),
+}
+
+
+def sweep():
+    return {
+        n: run_grid_experiment(SIZE_MB, n, events_per_mb=4, collect_tree=False)
+        for n in NODE_COUNTS
+    }
+
+
+def test_table2(benchmark, report):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = ComparisonTable(
+        "Table 2: staging/analysis vs nodes, 471 MB (paper -> measured, seconds)",
+        ["nodes", "move whole", "split", "move parts", "analysis"],
+    )
+    for n in NODE_COUNTS:
+        paper = PAPER[n]
+        grid = results[n]
+        table.add_row(
+            n,
+            f"{paper[0]} -> {grid.move_whole:.0f}",
+            f"{paper[1]} -> {grid.split:.0f}",
+            f"{paper[2]} -> {grid.move_parts:.0f}",
+            f"{paper[3]} -> {grid.analysis:.0f}",
+        )
+    report("table2", table.render())
+
+    move_whole = [results[n].move_whole for n in NODE_COUNTS]
+    split = [results[n].split for n in NODE_COUNTS]
+    move_parts = [results[n].move_parts for n in NODE_COUNTS]
+    analysis = [results[n].analysis for n in NODE_COUNTS]
+
+    # Move-whole: flat, ~63 s.
+    assert max(move_whole) - min(move_whole) < 1.0
+    assert move_whole[0] == pytest.approx(63.0, rel=0.03)
+    # Split: nearly flat (per-file overhead only), ~118 s.
+    assert split[0] == pytest.approx(118, rel=0.05)
+    assert split[-1] - split[0] < 10.0
+    # Move-parts: decreasing but far from 1/N.
+    assert all(a >= b for a, b in zip(move_parts, move_parts[1:]))
+    assert move_parts[0] == pytest.approx(105, rel=0.1)
+    assert move_parts[-1] == pytest.approx(50, rel=0.1)
+    assert move_parts[0] / move_parts[-1] < 3.0
+    # Analysis: strongly decreasing; endpoints match the paper.
+    assert all(a > b for a, b in zip(analysis, analysis[1:]))
+    assert analysis[0] == pytest.approx(330, rel=0.05)
+    assert analysis[-1] == pytest.approx(78, rel=0.08)
+    assert 3.0 < analysis[0] / analysis[-1] < 6.0  # paper: 4.2x

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Extending the framework: a custom data format + a database-located dataset.
+
+Two of the paper's architectural claims, demonstrated live:
+
+* §2.3 — freshly started engines "dynamically pickup new data format
+  readers": we register a brand-new record format (environmental sensor
+  readings) with the content store at runtime and analyze it with the
+  standard pipeline, no framework changes;
+* §3.4 — a dataset location "could be ... a set of contiguous records in a
+  database server": the same data registered as a database location skips
+  the whole-file fetch and the split pass, and we print the staging delta.
+
+Run:  python examples/custom_format.py
+"""
+
+import numpy as np
+
+from repro.client import IPAClient
+from repro.core import GridSite, SiteConfig
+from repro.dataset.events import EventBatch
+
+# --- 1. A new record format: one record per station-day of sensor data ----
+
+
+def sensor_reader(content, block_seed, n_events):
+    """Deterministic synthetic sensor data: temperature readings.
+
+    Field mapping: one "particle" per hourly reading; ``e`` carries the
+    temperature (Kelvin), ``px`` the humidity fraction.
+    """
+    rng = np.random.default_rng(block_seed)
+    readings_per_day = int(content.get("readings_per_day", 24))
+    base = float(content.get("base_temperature", 288.0))
+    n_readings = n_events * readings_per_day
+    day_cycle = 5.0 * np.sin(
+        np.tile(np.linspace(0, 2 * np.pi, readings_per_day), n_events)
+    )
+    temperature = base + day_cycle + rng.normal(0, 1.5, n_readings)
+    humidity = np.clip(rng.normal(0.6, 0.15, n_readings), 0, 1)
+    return EventBatch(
+        event_ids=np.arange(n_events),
+        process=np.zeros(n_events, dtype=np.int16),
+        weights=np.ones(n_events),
+        offsets=np.arange(n_events + 1, dtype=np.int64) * readings_per_day,
+        pdg=np.full(n_readings, 1, dtype=np.int32),
+        e=temperature,
+        px=humidity,
+        py=np.zeros(n_readings),
+        pz=np.zeros(n_readings),
+    )
+
+
+ANALYSIS = '''
+class SensorAnalysis(Analysis):
+    """Daily mean temperature and humidity distributions."""
+
+    name = "sensor-summary"
+
+    def start(self, tree):
+        tree.put("/sensors/daily_mean_temp", Histogram1D(
+            "daily_mean_temp", "Daily mean temperature [K]",
+            bins=40, lower=275, upper=300))
+        tree.put("/sensors/humidity", Histogram1D(
+            "humidity", "Hourly humidity", bins=20, lower=0, upper=1))
+
+    def process_batch(self, batch, tree):
+        for i in range(len(batch)):
+            lo, hi = batch.offsets[i], batch.offsets[i + 1]
+            tree.get("/sensors/daily_mean_temp").fill(
+                float(batch.e[lo:hi].mean()))
+        tree.get("/sensors/humidity").fill_array(batch.px)
+'''
+
+
+def main() -> None:
+    site = GridSite(SiteConfig(n_workers=4))
+    # Register the new format once; every engine picks it up (§2.3).
+    site.content_store.register_kind("sensor", sensor_reader)
+    common = dict(
+        size_mb=80.0,
+        n_events=2_000,
+        metadata={"domain": "environment"},
+        content={"kind": "sensor", "seed": 12, "readings_per_day": 24},
+    )
+    site.register_dataset("sensors-file", "/env/sensors-file", **common)
+    site.register_dataset(
+        "sensors-db", "/env/sensors-db", kind="database", **common
+    )
+    client = IPAClient(site, site.enroll_user("/O=ENV/CN=analyst"))
+    staging = {}
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        for dataset_id in ("sensors-file", "sensors-db"):
+            staged = yield from client.select_dataset(dataset_id)
+            staging[dataset_id] = staged
+        # Analyze the (last-selected) database-located dataset.
+        yield from client.upload_code(ANALYSIS)
+        yield from client.rewind()
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=5.0)
+        temp = final.tree.get("/sensors/daily_mean_temp")
+        print(f"analyzed {temp.entries} station-days; "
+              f"mean daily temperature {temp.mean:.1f} K")
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+    file_staged = staging["sensors-file"]
+    db_staged = staging["sensors-db"]
+    print(f"staging as file:     fetch {file_staged.fetch_seconds:.0f} s + "
+          f"split {file_staged.split_seconds:.0f} s + "
+          f"scatter {file_staged.move_parts_seconds:.0f} s "
+          f"= {file_staged.stage_seconds:.0f} s")
+    print(f"staging as database: fetch {db_staged.fetch_seconds:.0f} s + "
+          f"plan {db_staged.split_seconds:.0f} s + "
+          f"scatter {db_staged.move_parts_seconds:.0f} s "
+          f"= {db_staged.stage_seconds:.0f} s")
+    saved = file_staged.stage_seconds - db_staged.stage_seconds
+    print(f"database location saves {saved:.0f} s of staging (§3.4)")
+
+
+if __name__ == "__main__":
+    main()

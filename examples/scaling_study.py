@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate the paper's Tables 1-2 and the Figure 5 sweep.
+
+Runs the Table 1 comparison (local vs 16-node grid at 471 MB), the Table 2
+node sweep, and a coarse Figure 5 lattice, printing paper-vs-measured
+tables — the same content as the benchmark harness, packaged as a plain
+script for exploration (tweak the constants below and rerun).
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.bench.surface import compute_surfaces
+from repro.bench.tables import ComparisonTable, format_seconds
+from repro.core import run_grid_experiment, run_local_experiment
+
+SIZE_MB = 471.0
+NODE_SWEEP = (1, 2, 4, 8, 16)
+FIGURE5_SIZES = (5.0, 20.0, 100.0, 471.0)
+FIGURE5_NODES = (1, 4, 16)
+
+
+def table1() -> None:
+    local = run_local_experiment(SIZE_MB)
+    grid = run_grid_experiment(SIZE_MB, 16, events_per_mb=4, collect_tree=False)
+    table = ComparisonTable(
+        f"Table 1: local vs grid(16), {SIZE_MB:.0f} MB",
+        ["phase", "local", "grid"],
+    )
+    table.add_row("get dataset (WAN)", format_seconds(local.download), "-")
+    table.add_row("stage dataset (LAN)", "-", format_seconds(grid.stage_dataset))
+    table.add_row("stage code", "-", format_seconds(grid.stage_code))
+    table.add_row("analysis", format_seconds(local.analysis),
+                  format_seconds(grid.analysis))
+    table.add_row("total", format_seconds(local.total), format_seconds(grid.total))
+    print(table.render())
+    print(f"grid speedup: {local.total / grid.total:.1f}x\n")
+
+
+def table2() -> None:
+    table = ComparisonTable(
+        f"Table 2: staging/analysis vs nodes, {SIZE_MB:.0f} MB (seconds)",
+        ["nodes", "move whole", "split", "move parts", "analysis"],
+    )
+    for n in NODE_SWEEP:
+        grid = run_grid_experiment(SIZE_MB, n, events_per_mb=2, collect_tree=False)
+        table.add_row(
+            n,
+            f"{grid.move_whole:.0f}",
+            f"{grid.split:.0f}",
+            f"{grid.move_parts:.0f}",
+            f"{grid.analysis:.0f}",
+        )
+    print(table.render())
+    print()
+
+
+def figure5() -> None:
+    local_cache = {}
+
+    def local_fn(size):
+        if size not in local_cache:
+            local_cache[size] = run_local_experiment(size).total
+        return local_cache[size]
+
+    def grid_fn(size, nodes):
+        return run_grid_experiment(
+            size, nodes, events_per_mb=2, collect_tree=False
+        ).total
+
+    result = compute_surfaces(FIGURE5_SIZES, FIGURE5_NODES, local_fn, grid_fn)
+    print(result.render_ascii())
+    print("crossover (grid wins above): "
+          + ", ".join(
+              f"N={int(n)}: {c:.0f} MB"
+              for n, c in zip(result.nodes, result.crossover_mb)
+          ))
+
+
+def main() -> None:
+    table1()
+    table2()
+    figure5()
+
+
+if __name__ == "__main__":
+    main()

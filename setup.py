@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+``pip install -e .`` uses pyproject.toml on any normal machine.  This file
+exists for wheel-less offline environments where PEP 660 editable builds
+cannot run (``python setup.py develop`` needs neither network nor the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

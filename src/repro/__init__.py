@@ -1,0 +1,37 @@
+"""IPA — Interactive Parallel Dataset Analysis on a (simulated) Grid.
+
+A complete Python reproduction of Alexander, Ananthan, Johnson & Serbo,
+"Framework for Interactive Parallel Dataset Analysis on the Grid"
+(ICPP Workshops 2006).  See README.md for the tour, DESIGN.md for the
+system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+
+Top-level convenience re-exports cover the common entry points::
+
+    from repro import GridSite, SiteConfig, IPAClient
+    from repro import run_grid_experiment, run_local_experiment
+"""
+
+from repro.client.client import IPAClient
+from repro.core.config import Calibration, DEFAULT_CALIBRATION
+from repro.core.experiment import (
+    GridBreakdown,
+    LocalBreakdown,
+    run_grid_experiment,
+    run_local_experiment,
+)
+from repro.core.site import GridSite, SiteConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "GridBreakdown",
+    "GridSite",
+    "IPAClient",
+    "LocalBreakdown",
+    "SiteConfig",
+    "__version__",
+    "run_grid_experiment",
+    "run_local_experiment",
+]

@@ -1,0 +1,57 @@
+"""AIDA-like data-analysis objects (Abstract Interfaces for Data Analysis).
+
+The paper's analysis code produces histograms through the Java AIDA API;
+intermediate results are merged at the manager and polled by the client
+(§3.7).  This package is a Python equivalent with the same core design
+constraints:
+
+* every object is **mergeable** — ``a + b`` combines the statistics of two
+  engines' partial results exactly (merge is associative and commutative,
+  property-tested), which is what makes the scatter/merge architecture
+  correct;
+* every object is **serializable** to plain dicts (:func:`to_dict` /
+  :func:`from_dict`), which is how results travel from engines to the AIDA
+  manager service and on to the polling client;
+* histograms carry weighted entries, under/overflow, and per-object moments
+  (mean/rms) like their AIDA counterparts.
+
+Public types: :class:`Axis`, :class:`Histogram1D`, :class:`Histogram2D`,
+:class:`Profile1D`, :class:`Cloud1D`, :class:`Cloud2D`, :class:`NTuple`,
+:class:`ObjectTree`, plus fitting (:mod:`repro.aida.fit`) and ASCII
+rendering (:mod:`repro.aida.render`).
+"""
+
+from repro.aida.axis import Axis
+from repro.aida.cloud import Cloud1D, Cloud2D
+from repro.aida.hist1d import Histogram1D
+from repro.aida.hist2d import Histogram2D
+from repro.aida.ntuple import NTuple
+from repro.aida.profile import Profile1D
+from repro.aida.ops import divide, efficiency, normalize, rebin, subtract
+from repro.aida.ops2d import divide2d, efficiency2d, normalize2d, subtract2d
+from repro.aida.serial import from_dict, merge, to_dict
+from repro.aida.tree import ObjectTree, TreeError
+
+__all__ = [
+    "Axis",
+    "Cloud1D",
+    "Cloud2D",
+    "Histogram1D",
+    "Histogram2D",
+    "NTuple",
+    "ObjectTree",
+    "Profile1D",
+    "TreeError",
+    "divide",
+    "divide2d",
+    "efficiency",
+    "efficiency2d",
+    "from_dict",
+    "merge",
+    "normalize",
+    "normalize2d",
+    "rebin",
+    "subtract",
+    "subtract2d",
+    "to_dict",
+]

@@ -1,0 +1,461 @@
+"""Clouds: unbinned scatter stores with automatic histogram conversion.
+
+An AIDA *cloud* keeps raw (x[, y], weight) points until a configurable
+limit, after which it converts itself to a histogram — exactly the right
+container for the exploratory "I don't know the binning yet" phase of
+interactive analysis.  Merging two clouds concatenates points (or converts
+both if either has converted).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.aida.hist1d import Histogram1D
+from repro.aida.hist2d import Histogram2D
+
+#: Default auto-conversion threshold (number of stored points).
+DEFAULT_MAX_POINTS = 100_000
+#: Default number of bins used when auto-converting.
+AUTO_BINS = 50
+
+
+def _rebin_hist1d(hist: Histogram1D, axis) -> Histogram1D:
+    """Rebin a histogram onto *axis*, representing each bin by its center.
+
+    Needed when merging two converted clouds whose auto-chosen ranges
+    differ.  Entry counts, total weight, and the (binning-independent)
+    moments are conserved exactly; per-bin placement is approximate at the
+    source-bin-width level, as in standard AIDA cloud implementations.
+    """
+    if hist.axis == axis:
+        return hist
+    out = Histogram1D(hist.name, hist.title, axis=axis)
+    src = hist.axis
+    # Representative x for each storage slot: below range for underflow, the
+    # upper edge for overflow, bin centers in between.
+    reps = np.empty(src.bins + 2)
+    reps[0] = np.nextafter(src.lower_edge, -np.inf)
+    reps[1:-1] = src.bin_centers()
+    reps[-1] = src.upper_edge
+    targets = axis.coords_to_storage(reps)
+    np.add.at(out._counts, targets, hist._counts)
+    np.add.at(out._sumw, targets, hist._sumw)
+    np.add.at(out._sumw2, targets, hist._sumw2)
+    out._swx = hist._swx
+    out._swx2 = hist._swx2
+    return out
+
+
+def _slot_reps(axis) -> np.ndarray:
+    """Representative coordinate per storage slot of *axis*."""
+    reps = np.empty(axis.bins + 2)
+    reps[0] = np.nextafter(axis.lower_edge, -np.inf)
+    reps[1:-1] = axis.bin_centers()
+    reps[-1] = axis.upper_edge
+    return reps
+
+
+def _rebin_hist2d(hist: Histogram2D, x_axis, y_axis) -> Histogram2D:
+    """2-D analogue of :func:`_rebin_hist1d`."""
+    if hist.x_axis == x_axis and hist.y_axis == y_axis:
+        return hist
+    out = Histogram2D(hist.name, hist.title, x_axis=x_axis, y_axis=y_axis)
+    tx = x_axis.coords_to_storage(_slot_reps(hist.x_axis))
+    ty = y_axis.coords_to_storage(_slot_reps(hist.y_axis))
+    grid_x = np.repeat(tx, len(ty))
+    grid_y = np.tile(ty, len(tx))
+    np.add.at(out._counts, (grid_x, grid_y), hist._counts.ravel())
+    np.add.at(out._sumw, (grid_x, grid_y), hist._sumw.ravel())
+    np.add.at(out._sumw2, (grid_x, grid_y), hist._sumw2.ravel())
+    out._swx, out._swy = hist._swx, hist._swy
+    out._swx2, out._swy2 = hist._swx2, hist._swy2
+    return out
+
+
+class Cloud1D:
+    """Unbinned 1-D point store with lazy conversion to a histogram.
+
+    Parameters
+    ----------
+    max_points:
+        When more points than this are stored, the cloud converts itself
+        into a :class:`Histogram1D` covering the observed range.
+    """
+
+    kind = "Cloud1D"
+
+    def __init__(
+        self,
+        name: str,
+        title: str = "",
+        max_points: int = DEFAULT_MAX_POINTS,
+    ) -> None:
+        if not name:
+            raise ValueError("cloud name must be non-empty")
+        if max_points < 1:
+            raise ValueError("max_points must be >= 1")
+        self.name = name
+        self.title = title or name
+        self.max_points = max_points
+        self._xs: List[float] = []
+        self._ws: List[float] = []
+        self._hist: Optional[Histogram1D] = None
+
+    # -- filling ----------------------------------------------------------
+    def fill(self, x: float, weight: float = 1.0) -> None:
+        """Add one point, possibly triggering auto-conversion."""
+        if self._hist is not None:
+            self._hist.fill(x, weight)
+            return
+        self._xs.append(float(x))
+        self._ws.append(float(weight))
+        if len(self._xs) > self.max_points:
+            self.convert()
+
+    @property
+    def converted(self) -> bool:
+        """Whether the cloud has become a histogram."""
+        return self._hist is not None
+
+    @property
+    def entries(self) -> int:
+        """Total number of points filled."""
+        if self._hist is not None:
+            return self._hist.all_entries
+        return len(self._xs)
+
+    def values(self) -> np.ndarray:
+        """Raw x values (only before conversion)."""
+        if self._hist is not None:
+            raise RuntimeError(f"cloud {self.name!r} already converted")
+        return np.asarray(self._xs)
+
+    def weights(self) -> np.ndarray:
+        """Raw weights (only before conversion)."""
+        if self._hist is not None:
+            raise RuntimeError(f"cloud {self.name!r} already converted")
+        return np.asarray(self._ws)
+
+    # -- statistics (available in either state) -----------------------------
+    @property
+    def mean(self) -> float:
+        """Weighted mean of the points."""
+        if self._hist is not None:
+            return self._hist.mean
+        if not self._xs:
+            return float("nan")
+        w = np.asarray(self._ws)
+        return float(np.dot(w, self._xs) / w.sum())
+
+    @property
+    def rms(self) -> float:
+        """Weighted RMS of the points."""
+        if self._hist is not None:
+            return self._hist.rms
+        if not self._xs:
+            return float("nan")
+        xs = np.asarray(self._xs)
+        w = np.asarray(self._ws)
+        mean = np.dot(w, xs) / w.sum()
+        return float(np.sqrt(max(0.0, np.dot(w, xs * xs) / w.sum() - mean**2)))
+
+    # -- conversion ----------------------------------------------------------
+    def convert(
+        self,
+        bins: int = AUTO_BINS,
+        lower: Optional[float] = None,
+        upper: Optional[float] = None,
+    ) -> Histogram1D:
+        """Convert to a histogram (idempotent); returns it."""
+        if self._hist is not None:
+            return self._hist
+        xs = np.asarray(self._xs)
+        if lower is None:
+            lower = float(xs.min()) if xs.size else 0.0
+        if upper is None:
+            upper = float(xs.max()) if xs.size else 1.0
+        if upper <= lower:
+            upper = lower + 1.0
+        # Pad the top edge so the maximum lands in-range, not in overflow.
+        span = upper - lower
+        upper = upper + span * 1e-9 + 1e-12
+        hist = Histogram1D(self.name, self.title, bins=bins, lower=lower, upper=upper)
+        if xs.size:
+            hist.fill_array(xs, np.asarray(self._ws))
+        self._hist = hist
+        self._xs = []
+        self._ws = []
+        return hist
+
+    def histogram(self) -> Histogram1D:
+        """The converted histogram (converting on demand)."""
+        return self.convert()
+
+    # -- algebra ------------------------------------------------------------
+    def __iadd__(self, other: "Cloud1D") -> "Cloud1D":
+        """Merge *other* into this cloud.
+
+        If neither has converted, points are concatenated; otherwise both
+        sides are converted (with this cloud's binning) and merged as
+        histograms.
+        """
+        if not isinstance(other, Cloud1D):
+            raise TypeError(f"cannot combine Cloud1D with {type(other).__name__}")
+        if self._hist is None and other._hist is None:
+            self._xs.extend(other._xs)
+            self._ws.extend(other._ws)
+            if len(self._xs) > self.max_points:
+                self.convert()
+            return self
+        # Histogram path: bring both to a common binning.
+        if self._hist is None:
+            # Adopt the other's axis so the merge is well-defined.
+            mine = Histogram1D(self.name, self.title, axis=other.histogram().axis)
+            if self._xs:
+                mine.fill_array(np.asarray(self._xs), np.asarray(self._ws))
+            self._hist = mine
+            self._xs, self._ws = [], []
+        if other._hist is None:
+            theirs = Histogram1D(other.name, other.title, axis=self._hist.axis)
+            if other._xs:
+                theirs.fill_array(np.asarray(other._xs), np.asarray(other._ws))
+        else:
+            # Auto-chosen axes can differ: rebin onto mine.
+            theirs = _rebin_hist1d(other._hist, self._hist.axis)
+        self._hist += theirs
+        return self
+
+    def __add__(self, other: "Cloud1D") -> "Cloud1D":
+        """Return a merged copy."""
+        result = self.copy()
+        result += other
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "Cloud1D":
+        """Deep copy, optionally renamed."""
+        clone = Cloud1D(name or self.name, self.title, self.max_points)
+        clone._xs = list(self._xs)
+        clone._ws = list(self._ws)
+        clone._hist = self._hist.copy() if self._hist is not None else None
+        return clone
+
+    def reset(self) -> None:
+        """Drop all points and any converted histogram."""
+        self._xs = []
+        self._ws = []
+        self._hist = None
+
+    def __repr__(self) -> str:
+        state = "hist" if self.converted else "points"
+        return f"<Cloud1D {self.name!r} entries={self.entries} ({state})>"
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict."""
+        data = {
+            "kind": self.kind,
+            "name": self.name,
+            "title": self.title,
+            "max_points": self.max_points,
+        }
+        if self._hist is not None:
+            data["hist"] = self._hist.to_dict()
+        else:
+            data["xs"] = list(self._xs)
+            data["ws"] = list(self._ws)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cloud1D":
+        """Reconstruct a cloud serialized with :meth:`to_dict`."""
+        cloud = cls(data["name"], data["title"], data["max_points"])
+        if "hist" in data:
+            cloud._hist = Histogram1D.from_dict(data["hist"])
+        else:
+            cloud._xs = [float(x) for x in data["xs"]]
+            cloud._ws = [float(w) for w in data["ws"]]
+        return cloud
+
+
+class Cloud2D:
+    """Unbinned 2-D point store with lazy conversion to a 2-D histogram."""
+
+    kind = "Cloud2D"
+
+    def __init__(
+        self,
+        name: str,
+        title: str = "",
+        max_points: int = DEFAULT_MAX_POINTS,
+    ) -> None:
+        if not name:
+            raise ValueError("cloud name must be non-empty")
+        if max_points < 1:
+            raise ValueError("max_points must be >= 1")
+        self.name = name
+        self.title = title or name
+        self.max_points = max_points
+        self._xs: List[float] = []
+        self._ys: List[float] = []
+        self._ws: List[float] = []
+        self._hist: Optional[Histogram2D] = None
+
+    def fill(self, x: float, y: float, weight: float = 1.0) -> None:
+        """Add one (x, y) point, possibly triggering auto-conversion."""
+        if self._hist is not None:
+            self._hist.fill(x, y, weight)
+            return
+        self._xs.append(float(x))
+        self._ys.append(float(y))
+        self._ws.append(float(weight))
+        if len(self._xs) > self.max_points:
+            self.convert()
+
+    @property
+    def converted(self) -> bool:
+        """Whether the cloud has become a histogram."""
+        return self._hist is not None
+
+    @property
+    def entries(self) -> int:
+        """Total number of points filled."""
+        if self._hist is not None:
+            return self._hist.all_entries
+        return len(self._xs)
+
+    def convert(self, bins: int = AUTO_BINS) -> Histogram2D:
+        """Convert to a 2-D histogram (idempotent); returns it."""
+        if self._hist is not None:
+            return self._hist
+        xs = np.asarray(self._xs)
+        ys = np.asarray(self._ys)
+
+        def bounds(a: np.ndarray) -> Tuple[float, float]:
+            if not a.size:
+                return 0.0, 1.0
+            lo, hi = float(a.min()), float(a.max())
+            if hi <= lo:
+                hi = lo + 1.0
+            return lo, hi + (hi - lo) * 1e-9 + 1e-12
+
+        x_lo, x_hi = bounds(xs)
+        y_lo, y_hi = bounds(ys)
+        hist = Histogram2D(
+            self.name,
+            self.title,
+            x_bins=bins,
+            x_lower=x_lo,
+            x_upper=x_hi,
+            y_bins=bins,
+            y_lower=y_lo,
+            y_upper=y_hi,
+        )
+        if xs.size:
+            hist.fill_array(xs, ys, np.asarray(self._ws))
+        self._hist = hist
+        self._xs, self._ys, self._ws = [], [], []
+        return hist
+
+    def histogram(self) -> Histogram2D:
+        """The converted histogram (converting on demand)."""
+        return self.convert()
+
+    def __iadd__(self, other: "Cloud2D") -> "Cloud2D":
+        """Merge *other* into this cloud (see :meth:`Cloud1D.__iadd__`)."""
+        if not isinstance(other, Cloud2D):
+            raise TypeError(f"cannot combine Cloud2D with {type(other).__name__}")
+        if self._hist is None and other._hist is None:
+            self._xs.extend(other._xs)
+            self._ys.extend(other._ys)
+            self._ws.extend(other._ws)
+            if len(self._xs) > self.max_points:
+                self.convert()
+            return self
+        if self._hist is None:
+            template = other.histogram()
+            mine = Histogram2D(
+                self.name,
+                self.title,
+                x_axis=template.x_axis,
+                y_axis=template.y_axis,
+            )
+            if self._xs:
+                mine.fill_array(
+                    np.asarray(self._xs),
+                    np.asarray(self._ys),
+                    np.asarray(self._ws),
+                )
+            self._hist = mine
+            self._xs, self._ys, self._ws = [], [], []
+        if other._hist is None:
+            theirs = Histogram2D(
+                other.name,
+                other.title,
+                x_axis=self._hist.x_axis,
+                y_axis=self._hist.y_axis,
+            )
+            if other._xs:
+                theirs.fill_array(
+                    np.asarray(other._xs),
+                    np.asarray(other._ys),
+                    np.asarray(other._ws),
+                )
+        else:
+            theirs = _rebin_hist2d(other._hist, self._hist.x_axis, self._hist.y_axis)
+        self._hist += theirs
+        return self
+
+    def __add__(self, other: "Cloud2D") -> "Cloud2D":
+        """Return a merged copy."""
+        result = self.copy()
+        result += other
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "Cloud2D":
+        """Deep copy, optionally renamed."""
+        clone = Cloud2D(name or self.name, self.title, self.max_points)
+        clone._xs = list(self._xs)
+        clone._ys = list(self._ys)
+        clone._ws = list(self._ws)
+        clone._hist = self._hist.copy() if self._hist is not None else None
+        return clone
+
+    def reset(self) -> None:
+        """Drop all points and any converted histogram."""
+        self._xs, self._ys, self._ws = [], [], []
+        self._hist = None
+
+    def __repr__(self) -> str:
+        state = "hist" if self.converted else "points"
+        return f"<Cloud2D {self.name!r} entries={self.entries} ({state})>"
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict."""
+        data = {
+            "kind": self.kind,
+            "name": self.name,
+            "title": self.title,
+            "max_points": self.max_points,
+        }
+        if self._hist is not None:
+            data["hist"] = self._hist.to_dict()
+        else:
+            data["xs"] = list(self._xs)
+            data["ys"] = list(self._ys)
+            data["ws"] = list(self._ws)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cloud2D":
+        """Reconstruct a cloud serialized with :meth:`to_dict`."""
+        cloud = cls(data["name"], data["title"], data["max_points"])
+        if "hist" in data:
+            cloud._hist = Histogram2D.from_dict(data["hist"])
+        else:
+            cloud._xs = [float(v) for v in data["xs"]]
+            cloud._ys = [float(v) for v in data["ys"]]
+            cloud._ws = [float(v) for v in data["ws"]]
+        return cloud

@@ -1,0 +1,195 @@
+"""NTuple: a columnar table of analysis quantities.
+
+An AIDA ntuple is the "write now, histogram later" container: analysis code
+appends one row per event, and projections onto any column (optionally with
+a cut) produce histograms afterwards.  Columns are kept as growable Python
+lists and exposed as numpy arrays for vectorized projections.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aida.hist1d import Histogram1D
+from repro.aida.hist2d import Histogram2D
+
+
+class NTuple:
+    """Named-column row store.
+
+    Parameters
+    ----------
+    name:
+        Object name.
+    columns:
+        Ordered column names; every row must provide one float per column.
+    """
+
+    kind = "NTuple"
+
+    def __init__(self, name: str, columns: Sequence[str], title: str = "") -> None:
+        if not name:
+            raise ValueError("ntuple name must be non-empty")
+        if not columns:
+            raise ValueError("ntuple needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise ValueError("duplicate column names")
+        self.name = name
+        self.title = title or name
+        self.columns = tuple(columns)
+        self._data: Dict[str, List[float]] = {c: [] for c in columns}
+
+    # -- filling ----------------------------------------------------------
+    def fill(self, **values: float) -> None:
+        """Append one row given as keyword arguments (all columns required)."""
+        if set(values) != set(self.columns):
+            missing = set(self.columns) - set(values)
+            extra = set(values) - set(self.columns)
+            raise ValueError(
+                f"row mismatch: missing={sorted(missing)} extra={sorted(extra)}"
+            )
+        for column in self.columns:
+            self._data[column].append(float(values[column]))
+
+    def fill_row(self, row: Sequence[float]) -> None:
+        """Append one row given positionally (column order)."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} values for {len(self.columns)} columns"
+            )
+        for column, value in zip(self.columns, row):
+            self._data[column].append(float(value))
+
+    @property
+    def rows(self) -> int:
+        """Number of rows stored."""
+        return len(self._data[self.columns[0]])
+
+    def column(self, name: str) -> np.ndarray:
+        """One column as a numpy array (copy)."""
+        if name not in self._data:
+            raise KeyError(f"no column {name!r} in ntuple {self.name!r}")
+        return np.asarray(self._data[name])
+
+    # -- projections ----------------------------------------------------------
+    def project1d(
+        self,
+        column: str,
+        bins: int,
+        lower: float,
+        upper: float,
+        cut: Optional[Callable[[Dict[str, np.ndarray]], np.ndarray]] = None,
+        name: Optional[str] = None,
+    ) -> Histogram1D:
+        """Histogram one column, optionally filtered by a vectorized *cut*.
+
+        The cut receives a dict of column arrays and returns a boolean
+        mask — e.g. ``lambda c: c["njets"] >= 2``.
+        """
+        values = self.column(column)
+        if cut is not None:
+            mask = np.asarray(
+                cut({c: self.column(c) for c in self.columns}), dtype=bool
+            )
+            values = values[mask]
+        hist = Histogram1D(
+            name or f"{self.name}_{column}",
+            f"{self.title}: {column}",
+            bins=bins,
+            lower=lower,
+            upper=upper,
+        )
+        hist.fill_array(values)
+        return hist
+
+    def project2d(
+        self,
+        x_column: str,
+        y_column: str,
+        x_bins: int,
+        x_lower: float,
+        x_upper: float,
+        y_bins: int,
+        y_lower: float,
+        y_upper: float,
+        cut: Optional[Callable[[Dict[str, np.ndarray]], np.ndarray]] = None,
+        name: Optional[str] = None,
+    ) -> Histogram2D:
+        """2-D histogram of two columns, optionally filtered by *cut*."""
+        xs = self.column(x_column)
+        ys = self.column(y_column)
+        if cut is not None:
+            mask = np.asarray(
+                cut({c: self.column(c) for c in self.columns}), dtype=bool
+            )
+            xs, ys = xs[mask], ys[mask]
+        hist = Histogram2D(
+            name or f"{self.name}_{x_column}_{y_column}",
+            f"{self.title}: {y_column} vs {x_column}",
+            x_bins=x_bins,
+            x_lower=x_lower,
+            x_upper=x_upper,
+            y_bins=y_bins,
+            y_lower=y_lower,
+            y_upper=y_upper,
+        )
+        hist.fill_array(xs, ys)
+        return hist
+
+    # -- algebra ------------------------------------------------------------
+    def __iadd__(self, other: "NTuple") -> "NTuple":
+        """Append *other*'s rows (columns must match exactly)."""
+        if not isinstance(other, NTuple):
+            raise TypeError(f"cannot combine NTuple with {type(other).__name__}")
+        if self.columns != other.columns:
+            raise ValueError(
+                f"column mismatch: {self.columns} vs {other.columns}"
+            )
+        for column in self.columns:
+            self._data[column].extend(other._data[column])
+        return self
+
+    def __add__(self, other: "NTuple") -> "NTuple":
+        """Return a copy with both row sets."""
+        result = self.copy()
+        result += other
+        return result
+
+    def copy(self, name: Optional[str] = None) -> "NTuple":
+        """Deep copy, optionally renamed."""
+        clone = NTuple(name or self.name, self.columns, self.title)
+        for column in self.columns:
+            clone._data[column] = list(self._data[column])
+        return clone
+
+    def reset(self) -> None:
+        """Drop all rows."""
+        for column in self.columns:
+            self._data[column] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<NTuple {self.name!r} columns={list(self.columns)} "
+            f"rows={self.rows}>"
+        )
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-compatible dict."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "title": self.title,
+            "columns": list(self.columns),
+            "data": {c: list(v) for c, v in self._data.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NTuple":
+        """Reconstruct an ntuple serialized with :meth:`to_dict`."""
+        nt = cls(data["name"], data["columns"], data["title"])
+        for column in nt.columns:
+            nt._data[column] = [float(v) for v in data["data"][column]]
+        return nt

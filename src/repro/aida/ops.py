@@ -1,0 +1,150 @@
+"""Histogram arithmetic: subtract, divide, efficiency, rebin, normalize.
+
+The AIDA ``IHistogramFactory`` exposes add/subtract/multiply/divide on
+histograms; analyses use them for background subtraction and cut
+efficiencies (pass/total).  All operations require identical axes and
+propagate errors:
+
+* subtract/add: quadrature;
+* divide: relative errors in quadrature;
+* efficiency: binomial errors ``sqrt(eff (1-eff) / total_entries)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aida.axis import Axis
+from repro.aida.hist1d import Histogram1D
+
+
+class HistogramOpsError(Exception):
+    """Raised on incompatible operands."""
+
+
+def _check(a: Histogram1D, b: Histogram1D) -> None:
+    if a.axis != b.axis:
+        raise HistogramOpsError(
+            f"incompatible axes: {a.name!r} vs {b.name!r}"
+        )
+
+
+def _from_arrays(
+    name: str,
+    title: str,
+    axis: Axis,
+    heights: np.ndarray,
+    errors: np.ndarray,
+    counts: Optional[np.ndarray] = None,
+) -> Histogram1D:
+    """Build a histogram directly from per-slot heights/errors."""
+    hist = Histogram1D(name, title, axis=axis)
+    hist._sumw = np.asarray(heights, dtype=float).copy()
+    hist._sumw2 = np.asarray(errors, dtype=float) ** 2
+    if counts is not None:
+        hist._counts = np.asarray(counts, dtype=np.int64).copy()
+    return hist
+
+
+def subtract(
+    a: Histogram1D, b: Histogram1D, name: Optional[str] = None
+) -> Histogram1D:
+    """``a - b`` with errors added in quadrature (background subtraction)."""
+    _check(a, b)
+    return _from_arrays(
+        name or f"{a.name}_minus_{b.name}",
+        f"{a.title} - {b.title}",
+        a.axis,
+        a._sumw - b._sumw,
+        np.sqrt(a._sumw2 + b._sumw2),
+    )
+
+
+def divide(
+    a: Histogram1D, b: Histogram1D, name: Optional[str] = None
+) -> Histogram1D:
+    """``a / b`` bin by bin; empty denominator bins yield 0 with error 0.
+
+    Relative errors add in quadrature (uncorrelated-samples assumption).
+    """
+    _check(a, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(b._sumw != 0, a._sumw / b._sumw, 0.0)
+        rel_a = np.where(a._sumw != 0, np.sqrt(a._sumw2) / np.abs(a._sumw), 0.0)
+        rel_b = np.where(b._sumw != 0, np.sqrt(b._sumw2) / np.abs(b._sumw), 0.0)
+        err = np.abs(ratio) * np.sqrt(rel_a**2 + rel_b**2)
+    return _from_arrays(
+        name or f"{a.name}_over_{b.name}",
+        f"{a.title} / {b.title}",
+        a.axis,
+        ratio,
+        err,
+    )
+
+
+def efficiency(
+    passed: Histogram1D, total: Histogram1D, name: Optional[str] = None
+) -> Histogram1D:
+    """Cut efficiency passed/total with binomial errors.
+
+    Requires ``0 <= passed <= total`` per bin (a subset selection).
+    """
+    _check(passed, total)
+    if np.any(passed._sumw > total._sumw + 1e-9) or np.any(passed._sumw < -1e-12):
+        raise HistogramOpsError("passed must be a subset of total per bin")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        eff = np.where(total._sumw > 0, passed._sumw / total._sumw, 0.0)
+        n = np.where(total._counts > 0, total._counts, 1)
+        err = np.where(
+            total._counts > 0,
+            np.sqrt(np.clip(eff * (1.0 - eff), 0.0, None) / n),
+            0.0,
+        )
+    return _from_arrays(
+        name or f"{passed.name}_eff",
+        f"efficiency({passed.title})",
+        passed.axis,
+        eff,
+        err,
+    )
+
+
+def rebin(hist: Histogram1D, factor: int, name: Optional[str] = None) -> Histogram1D:
+    """Merge every *factor* adjacent bins (bins must divide evenly).
+
+    Entry counts, weights and moments are conserved exactly.
+    """
+    if factor < 1:
+        raise HistogramOpsError("factor must be >= 1")
+    if factor == 1:
+        return hist.copy(name)
+    bins = hist.axis.bins
+    if bins % factor != 0:
+        raise HistogramOpsError(
+            f"{bins} bins not divisible by rebin factor {factor}"
+        )
+    new_axis = Axis(edges=hist.axis.edges[::factor])
+    out = Histogram1D(name or hist.name, hist.title, axis=new_axis)
+    inner = lambda arr: arr[1:-1].reshape(-1, factor).sum(axis=1)
+    out._counts[1:-1] = inner(hist._counts)
+    out._counts[0], out._counts[-1] = hist._counts[0], hist._counts[-1]
+    out._sumw[1:-1] = inner(hist._sumw)
+    out._sumw[0], out._sumw[-1] = hist._sumw[0], hist._sumw[-1]
+    out._sumw2[1:-1] = inner(hist._sumw2)
+    out._sumw2[0], out._sumw2[-1] = hist._sumw2[0], hist._sumw2[-1]
+    out._swx = hist._swx
+    out._swx2 = hist._swx2
+    return out
+
+
+def normalize(
+    hist: Histogram1D, to: float = 1.0, name: Optional[str] = None
+) -> Histogram1D:
+    """Scale so the in-range integral equals *to* (no-op when empty)."""
+    out = hist.copy(name)
+    integral = out.sum_bin_heights
+    if integral != 0:
+        out.scale(to / integral)
+    return out

@@ -1,0 +1,116 @@
+"""2-D histogram arithmetic: subtract, divide, efficiency, normalize.
+
+The 2-D counterparts of :mod:`repro.aida.ops`, with the same error
+conventions; used for background subtraction and per-cell efficiencies on
+correlation plots (e.g. the Z-vs-Higgs mass plane of the sample analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.aida.hist2d import Histogram2D
+from repro.aida.ops import HistogramOpsError
+
+
+def _check(a: Histogram2D, b: Histogram2D) -> None:
+    if a.x_axis != b.x_axis or a.y_axis != b.y_axis:
+        raise HistogramOpsError(
+            f"incompatible axes: {a.name!r} vs {b.name!r}"
+        )
+
+
+def _from_grids(
+    name: str,
+    title: str,
+    template: Histogram2D,
+    heights: np.ndarray,
+    errors: np.ndarray,
+    counts: Optional[np.ndarray] = None,
+) -> Histogram2D:
+    out = Histogram2D(
+        name, title, x_axis=template.x_axis, y_axis=template.y_axis
+    )
+    out._sumw = np.asarray(heights, dtype=float).copy()
+    out._sumw2 = np.asarray(errors, dtype=float) ** 2
+    if counts is not None:
+        out._counts = np.asarray(counts, dtype=np.int64).copy()
+    return out
+
+
+def subtract2d(
+    a: Histogram2D, b: Histogram2D, name: Optional[str] = None
+) -> Histogram2D:
+    """``a - b`` cell by cell with errors in quadrature."""
+    _check(a, b)
+    return _from_grids(
+        name or f"{a.name}_minus_{b.name}",
+        f"{a.title} - {b.title}",
+        a,
+        a._sumw - b._sumw,
+        np.sqrt(a._sumw2 + b._sumw2),
+    )
+
+
+def divide2d(
+    a: Histogram2D, b: Histogram2D, name: Optional[str] = None
+) -> Histogram2D:
+    """``a / b`` cell by cell; empty denominator cells give 0 ± 0."""
+    _check(a, b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(b._sumw != 0, a._sumw / b._sumw, 0.0)
+        rel_a = np.where(a._sumw != 0, np.sqrt(a._sumw2) / np.abs(a._sumw), 0.0)
+        rel_b = np.where(b._sumw != 0, np.sqrt(b._sumw2) / np.abs(b._sumw), 0.0)
+        err = np.abs(ratio) * np.sqrt(rel_a**2 + rel_b**2)
+    return _from_grids(
+        name or f"{a.name}_over_{b.name}",
+        f"{a.title} / {b.title}",
+        a,
+        ratio,
+        err,
+    )
+
+
+def efficiency2d(
+    passed: Histogram2D, total: Histogram2D, name: Optional[str] = None
+) -> Histogram2D:
+    """Per-cell binomial efficiency passed/total (passed ⊆ total)."""
+    _check(passed, total)
+    if np.any(passed._sumw > total._sumw + 1e-9) or np.any(
+        passed._sumw < -1e-12
+    ):
+        raise HistogramOpsError("passed must be a subset of total per cell")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        eff = np.where(total._sumw > 0, passed._sumw / total._sumw, 0.0)
+        n = np.where(total._counts > 0, total._counts, 1)
+        err = np.where(
+            total._counts > 0,
+            np.sqrt(np.clip(eff * (1.0 - eff), 0.0, None) / n),
+            0.0,
+        )
+    return _from_grids(
+        name or f"{passed.name}_eff",
+        f"efficiency({passed.title})",
+        passed,
+        eff,
+        err,
+    )
+
+
+def normalize2d(
+    hist: Histogram2D, to: float = 1.0, name: Optional[str] = None
+) -> Histogram2D:
+    """Scale so the in-range integral equals *to* (no-op when empty)."""
+    out = hist.copy(name)
+    integral = out.sum_bin_heights
+    if integral != 0:
+        factor = to / integral
+        out._sumw *= factor
+        out._sumw2 *= factor * factor
+        out._swx *= factor
+        out._swy *= factor
+        out._swx2 *= factor
+        out._swy2 *= factor
+    return out

@@ -1,0 +1,214 @@
+"""Hierarchical tree of named analysis objects.
+
+Mirrors AIDA's ``ITree``: analysis objects live at slash-separated paths
+(``/higgs/dijet_mass``), directories are created on demand, and the JAS
+client browses this tree to pick which histogram to display (§3.7, Fig. 4).
+The tree is also the unit the AIDA manager merges: merging two trees merges
+every object present in both and copies objects present in only one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class TreeError(Exception):
+    """Raised for invalid tree paths or operations."""
+
+
+def split_path(path: str) -> Tuple[str, ...]:
+    """Normalize a slash path into components; rejects empty components."""
+    if not path or not path.startswith("/"):
+        raise TreeError(f"path must be absolute (got {path!r})")
+    parts = tuple(p for p in path.split("/") if p)
+    for part in parts:
+        if part in (".", ".."):
+            raise TreeError(f"relative component {part!r} not allowed")
+    return parts
+
+
+def join_path(parts: Tuple[str, ...]) -> str:
+    """Inverse of :func:`split_path`."""
+    return "/" + "/".join(parts)
+
+
+class _Directory:
+    __slots__ = ("subdirs", "objects")
+
+    def __init__(self) -> None:
+        self.subdirs: Dict[str, "_Directory"] = {}
+        self.objects: Dict[str, object] = {}
+
+
+class ObjectTree:
+    """A mounted hierarchy of analysis objects.
+
+    All stored objects are expected to expose the small AIDA protocol used
+    across this package: ``name``, ``kind``, ``to_dict()``, ``copy()`` and
+    (for mergeables) ``__iadd__``.
+    """
+
+    def __init__(self) -> None:
+        self._root = _Directory()
+
+    # -- directories ------------------------------------------------------
+    def mkdir(self, path: str) -> None:
+        """Create a directory (and parents) at *path*; idempotent."""
+        node = self._root
+        for part in split_path(path):
+            if part in node.objects:
+                raise TreeError(f"object exists at {part!r}; cannot mkdir")
+            node = node.subdirs.setdefault(part, _Directory())
+
+    def _walk_to(self, parts: Tuple[str, ...]) -> _Directory:
+        node = self._root
+        for part in parts:
+            try:
+                node = node.subdirs[part]
+            except KeyError:
+                raise TreeError(f"no such directory {join_path(parts)!r}") from None
+        return node
+
+    def ls(self, path: str = "/") -> List[str]:
+        """Names in a directory: subdirectories (with ``/``) then objects."""
+        parts = split_path(path) if path != "/" else ()
+        node = self._walk_to(parts)
+        return sorted(f"{d}/" for d in node.subdirs) + sorted(node.objects)
+
+    def is_dir(self, path: str) -> bool:
+        """Whether *path* names an existing directory."""
+        if path == "/":
+            return True
+        try:
+            self._walk_to(split_path(path))
+            return True
+        except TreeError:
+            return False
+
+    # -- objects ----------------------------------------------------------
+    def put(self, path: str, obj: object) -> None:
+        """Store *obj* at *path*, creating parent directories."""
+        parts = split_path(path)
+        if not parts:
+            raise TreeError("cannot store an object at /")
+        *dirs, leaf = parts
+        node = self._root
+        for part in dirs:
+            if part in node.objects:
+                raise TreeError(f"object exists at {part!r}; cannot descend")
+            node = node.subdirs.setdefault(part, _Directory())
+        if leaf in node.subdirs:
+            raise TreeError(f"directory exists at {path!r}; cannot store object")
+        node.objects[leaf] = obj
+
+    def get(self, path: str) -> object:
+        """Fetch the object at *path* (raises :class:`TreeError` if absent)."""
+        parts = split_path(path)
+        *dirs, leaf = parts
+        node = self._walk_to(tuple(dirs))
+        try:
+            return node.objects[leaf]
+        except KeyError:
+            raise TreeError(f"no object at {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        """Whether an object is stored at *path*."""
+        try:
+            self.get(path)
+            return True
+        except TreeError:
+            return False
+
+    def remove(self, path: str) -> None:
+        """Delete the object or (empty or not) directory at *path*."""
+        parts = split_path(path)
+        *dirs, leaf = parts
+        node = self._walk_to(tuple(dirs))
+        if leaf in node.objects:
+            del node.objects[leaf]
+        elif leaf in node.subdirs:
+            del node.subdirs[leaf]
+        else:
+            raise TreeError(f"nothing at {path!r}")
+
+    # -- traversal ----------------------------------------------------------
+    def walk(self) -> Iterator[Tuple[str, object]]:
+        """Yield every (path, object) pair in depth-first sorted order."""
+
+        def recurse(node: _Directory, prefix: Tuple[str, ...]):
+            for name in sorted(node.objects):
+                yield join_path(prefix + (name,)), node.objects[name]
+            for name in sorted(node.subdirs):
+                yield from recurse(node.subdirs[name], prefix + (name,))
+
+        yield from recurse(self._root, ())
+
+    def paths(self) -> List[str]:
+        """All object paths in the tree."""
+        return [path for path, _ in self.walk()]
+
+    def find(self, name: str) -> List[str]:
+        """Paths of every object whose leaf name equals *name*."""
+        return [p for p in self.paths() if p.rsplit("/", 1)[-1] == name]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    def __contains__(self, path: str) -> bool:
+        return self.exists(path)
+
+    # -- merge / copy ----------------------------------------------------------
+    def merge_from(self, other: "ObjectTree") -> None:
+        """Merge another tree into this one.
+
+        Objects at paths present in both trees are combined with ``+=``;
+        objects only in *other* are deep-copied in.  This is the operation
+        the AIDA manager applies to every engine snapshot.
+        """
+        for path, obj in other.walk():
+            if self.exists(path):
+                mine = self.get(path)
+                try:
+                    mine += obj  # type: ignore[operator]
+                except TypeError as exc:
+                    raise TreeError(
+                        f"cannot merge object at {path!r}: {exc}"
+                    ) from exc
+                # += on immutable containers returns a new object.
+                self.remove(path)
+                self.put(path, mine)
+            else:
+                self.put(path, obj.copy())  # type: ignore[attr-defined]
+
+    def copy(self) -> "ObjectTree":
+        """Deep copy of the whole tree."""
+        clone = ObjectTree()
+        for path, obj in self.walk():
+            clone.put(path, obj.copy())  # type: ignore[attr-defined]
+        return clone
+
+    def reset_all(self) -> None:
+        """Reset every object in place (the rewind operation)."""
+        for _, obj in self.walk():
+            obj.reset()  # type: ignore[attr-defined]
+
+    def __repr__(self) -> str:
+        return f"<ObjectTree {len(self)} objects>"
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize the tree (delegates to each object's ``to_dict``)."""
+        return {
+            "kind": "ObjectTree",
+            "objects": {path: obj.to_dict() for path, obj in self.walk()},  # type: ignore[attr-defined]
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObjectTree":
+        """Reconstruct a tree serialized with :meth:`to_dict`."""
+        from repro.aida.serial import from_dict as object_from_dict
+
+        tree = cls()
+        for path, obj_data in data["objects"].items():
+            tree.put(path, object_from_dict(obj_data))
+        return tree

@@ -1,0 +1,30 @@
+"""Sample analyses shipped with the framework.
+
+These are the "user code" of the reproduction:
+
+* :class:`~repro.analysis.higgs.HiggsSearchAnalysis` — the paper's workload
+  ("a Java algorithm that looks for Higgs Bosons in simulated Linear
+  Collider data", §4), reimplemented vectorized;
+* :class:`~repro.analysis.counting.EventCounterAnalysis` — minimal
+  per-process bookkeeping;
+* :class:`~repro.analysis.cuts.SelectionCutAnalysis` — a tunable-cut
+  analysis used by the interactive fine-tuning example;
+* :mod:`repro.analysis.trading` — a stock-trade VWAP analysis demonstrating
+  the paper's claim that the framework "can easily be adopted for
+  applications in other fields" (§6).
+
+Each module also exposes its source as a ``SOURCE`` string so examples and
+tests can stage it through the code loader exactly like user-written code.
+"""
+
+from repro.analysis.counting import EventCounterAnalysis
+from repro.analysis.cuts import SelectionCutAnalysis
+from repro.analysis.higgs import HiggsSearchAnalysis
+from repro.analysis.trading import TradingRecordsAnalysis
+
+__all__ = [
+    "EventCounterAnalysis",
+    "HiggsSearchAnalysis",
+    "SelectionCutAnalysis",
+    "TradingRecordsAnalysis",
+]

@@ -1,0 +1,64 @@
+"""Paper-vs-measured table rendering shared by the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_seconds(value: Optional[Number]) -> str:
+    """Human formatting: ``93 s``, ``4 m 19 s``, ``1.2 h``, or ``-``."""
+    if value is None:
+        return "-"
+    seconds = float(value)
+    if seconds < 0:
+        return f"-{format_seconds(-seconds)}"
+    if seconds < 120:
+        return f"{seconds:.0f} s" if seconds >= 10 else f"{seconds:.1f} s"
+    if seconds < 3600:
+        total = int(round(seconds))
+        minutes, rest = divmod(total, 60)
+        return f"{minutes} m {rest:02d} s"
+    return f"{seconds / 3600:.2f} h"
+
+
+@dataclass
+class ComparisonTable:
+    """A simple fixed-width table with a title and aligned columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        """Append one row; cells are stringified."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        """Render the table as text."""
+        widths = [
+            max(len(str(column)), *(len(row[i]) for row in self.rows))
+            if self.rows
+            else len(str(column))
+            for i, column in enumerate(self.columns)
+        ]
+
+        def line(cells):
+            return "  ".join(
+                str(cell).ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, separator, line(self.columns), separator]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(separator)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,251 @@
+"""IPAClient: the user-facing facade over the whole workflow of Fig. 2.
+
+Every method that talks to the site is a *generator operation* meant to be
+driven inside the simulation::
+
+    def scenario(site, client):
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ilc-zh-500gev")
+        yield from client.upload_code(bundle)
+        yield from client.run()
+        tree, progress = yield from client.wait_for_completion()
+        ...
+
+    site.env.run(until=site.env.process(scenario(site, client)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.aida.tree import ObjectTree
+from repro.client.plugins import (
+    DatasetCatalogPlugin,
+    GridProxyPlugin,
+    RemoteDataPlugin,
+)
+from repro.engine.controls import Command
+from repro.engine.sandbox import CodeBundle
+from repro.grid.security import Credential
+from repro.services.aida_manager import MergeProgress
+from repro.services.session import SessionInfo, StagedDataset
+
+
+class ClientError(Exception):
+    """Raised on client-side workflow mistakes (e.g. no session yet)."""
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """One poll of the AIDA manager: merged results plus progress."""
+
+    tree: ObjectTree
+    progress: MergeProgress
+
+
+class IPAClient:
+    """Headless analysis client bound to one simulated grid site.
+
+    Parameters
+    ----------
+    site:
+        The :class:`~repro.core.site.GridSite` to talk to.
+    credential:
+        The user's identity credential (from
+        :meth:`~repro.core.site.GridSite.enroll_user`).
+    """
+
+    def __init__(self, site, credential: Credential) -> None:
+        self.site = site
+        self.env = site.env
+        self.proxy_plugin = GridProxyPlugin(site.env, credential)
+        self.catalog_plugin = DatasetCatalogPlugin(site.container)
+        self.data_plugin = RemoteDataPlugin(site.container)
+        self.session: Optional[SessionInfo] = None
+        self.staged: Optional[StagedDataset] = None
+
+    # -- step 1-3: proxy + session ---------------------------------------
+    def obtain_proxy(self, lifetime: float = 12 * 3600.0) -> Credential:
+        """Create the Grid proxy (no service interaction; instantaneous)."""
+        return self.proxy_plugin.obtain_proxy(lifetime)
+
+    def connect(self, n_engines: Optional[int] = None):
+        """Generator op: authenticate and create the session (steps 2-3)."""
+        info: SessionInfo = yield self.site.container.call(
+            "control",
+            "create_session",
+            {"client_chain": self.proxy_plugin.chain, "n_engines": n_engines},
+        )
+        self.session = info
+        self.data_plugin.bind(info.session_id, info.token)
+        return info
+
+    def obtain_proxy_and_connect(self, n_engines: Optional[int] = None):
+        """Generator op: steps 1-3 in one go."""
+        self.obtain_proxy()
+        info = yield from self.connect(n_engines)
+        return info
+
+    def _require_session(self) -> SessionInfo:
+        if self.session is None:
+            raise ClientError("not connected; call connect() first")
+        return self.session
+
+    # -- step 4: dataset -------------------------------------------------
+    def browse_catalog(self, path: str = "/"):
+        """Generator op: catalog directory listing (the chooser, Fig. 3)."""
+        listing = yield from self.catalog_plugin.browse(path)
+        return listing
+
+    def search_catalog(self, query: str):
+        """Generator op: metadata query over the catalog."""
+        hits = yield from self.catalog_plugin.search(query)
+        return hits
+
+    def select_dataset(
+        self,
+        dataset_id: str,
+        strategy: str = "by-events",
+        streams: Optional[int] = None,
+    ):
+        """Generator op: stage the dataset for this session (steps 4-5)."""
+        info = self._require_session()
+        staged: StagedDataset = yield self.site.container.call(
+            "session",
+            "add_dataset",
+            {
+                "session_id": info.session_id,
+                "dataset_id": dataset_id,
+                "strategy": strategy,
+                "streams": streams,
+            },
+        )
+        self.staged = staged
+        return staged
+
+    # -- step 6: code ------------------------------------------------------
+    def upload_code(
+        self,
+        source: str,
+        class_name: Optional[str] = None,
+        parameters: Optional[dict] = None,
+    ):
+        """Generator op: stage analysis code to the engines."""
+        info = self._require_session()
+        bundle = CodeBundle(
+            source=source, class_name=class_name, parameters=dict(parameters or {})
+        )
+        duration = yield self.site.container.call(
+            "session",
+            "stage_code",
+            {"session_id": info.session_id, "bundle": bundle},
+        )
+        return duration
+
+    def reload_code(
+        self,
+        source: Optional[str] = None,
+        parameters: Optional[dict] = None,
+    ):
+        """Generator op: dynamic reload with new source/parameters (§3.6)."""
+        info = self._require_session()
+        duration = yield self.site.container.call(
+            "session",
+            "reload_code",
+            {
+                "session_id": info.session_id,
+                "source": source,
+                "parameters": parameters,
+            },
+        )
+        return duration
+
+    # -- run controls ------------------------------------------------------
+    def _control(self, verb: str, argument=None):
+        info = self._require_session()
+        count = yield self.site.container.call(
+            "session",
+            "control",
+            {"session_id": info.session_id, "verb": verb, "argument": argument},
+        )
+        return count
+
+    def run(self):
+        """Generator op: start/resume the analysis on all engines."""
+        return (yield from self._control(Command.RUN))
+
+    def pause(self):
+        """Generator op: pause all engines after their current chunk."""
+        return (yield from self._control(Command.PAUSE))
+
+    def stop(self):
+        """Generator op: stop the run on all engines."""
+        return (yield from self._control(Command.STOP))
+
+    def rewind(self):
+        """Generator op: reset all engines to event 0, clearing results."""
+        return (yield from self._control(Command.REWIND))
+
+    def step(self, n_events: int):
+        """Generator op: run exactly *n_events* per engine, then pause."""
+        return (yield from self._control(Command.STEP, n_events))
+
+    # -- step 7: results -------------------------------------------------
+    def poll(self) -> "PollResult":
+        """Generator op: one RMI poll of the merged results."""
+        self._require_session()
+        tree, progress = yield from self.data_plugin.poll()
+        return PollResult(tree=tree, progress=progress)
+
+    def wait_for_completion(
+        self,
+        poll_interval: float = 5.0,
+        timeout: Optional[float] = None,
+    ):
+        """Generator op: poll until every engine reported final results.
+
+        Returns the last :class:`PollResult`.  Raises :class:`ClientError`
+        on timeout.
+        """
+        info = self._require_session()
+        deadline = None if timeout is None else self.env.now + timeout
+        expected = info.n_engines
+        while True:
+            result = yield from self.poll()
+            progress = result.progress
+            if progress.engines_reporting >= expected and progress.complete:
+                return result
+            # Fail fast if an engine died (a crashed analysis would
+            # otherwise leave us polling forever).
+            summary = yield from self.status()
+            if summary["failures"]:
+                failure = summary["failures"][0]
+                raise ClientError(
+                    f"engine job {failure['job']!r} failed: {failure['error']}"
+                )
+            if deadline is not None and self.env.now >= deadline:
+                raise ClientError(
+                    f"timed out waiting for completion "
+                    f"({progress.final_engines}/{expected} final)"
+                )
+            yield self.env.timeout(poll_interval)
+
+    def status(self):
+        """Generator op: session status summary from the session service."""
+        info = self._require_session()
+        summary = yield self.site.container.call(
+            "session", "status", {"session_id": info.session_id}
+        )
+        return summary
+
+    # -- shutdown ------------------------------------------------------------
+    def close(self):
+        """Generator op: close the session and release every engine."""
+        info = self._require_session()
+        result = yield self.site.container.call(
+            "control", "close_session", {"session_id": info.session_id}
+        )
+        self.session = None
+        self.staged = None
+        return result

@@ -1,0 +1,204 @@
+"""Experiment drivers for the paper's evaluation (Tables 1-2, Figure 5).
+
+``run_grid_experiment`` executes the *entire* IPA pipeline on a freshly
+built simulated site — authentication, session creation, dataset staging,
+code staging, analysis with live merging — and reports the same wall-clock
+phase breakdown the paper tabulates.  ``run_local_experiment`` is the
+baseline: WAN download to the desktop plus single-CPU analysis.
+
+Events are processed for real (numpy) while the clock advances per the
+calibrated model, so every experiment also yields genuine physics output
+(the Higgs mass histogram) alongside its timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.aida.tree import ObjectTree
+from repro.analysis import higgs
+from repro.core.config import DEFAULT_CALIBRATION, Calibration
+from repro.core.site import GridSite, SiteConfig
+from repro.client.client import IPAClient
+from repro.engine.runner import run_local
+from repro.engine.sandbox import CodeBundle
+from repro.services.content import ContentStore
+
+
+#: Nominal events per MB (the 471 MB reference dataset at 40k events).
+EVENTS_PER_MB = 40_000 / 471.0
+
+
+@dataclass
+class GridBreakdown:
+    """Phase timing of one grid experiment (simulated seconds)."""
+
+    size_mb: float
+    n_nodes: int
+    session_setup: float
+    move_whole: float
+    split: float
+    move_parts: float
+    stage_code: float
+    analysis: float
+    tree: Optional[ObjectTree] = field(default=None, repr=False)
+
+    @property
+    def stage_dataset(self) -> float:
+        """Table 1's "Stage Dataset" = move whole + split + move parts."""
+        return self.move_whole + self.split + self.move_parts
+
+    @property
+    def total(self) -> float:
+        """End-to-end session time, excluding session setup."""
+        return self.stage_dataset + self.stage_code + self.analysis
+
+    @property
+    def total_with_setup(self) -> float:
+        """End-to-end including session creation."""
+        return self.session_setup + self.total
+
+
+@dataclass
+class LocalBreakdown:
+    """Phase timing of the local-analysis baseline (simulated seconds)."""
+
+    size_mb: float
+    download: float
+    analysis: float
+    tree: Optional[ObjectTree] = field(default=None, repr=False)
+
+    @property
+    def total(self) -> float:
+        """Download + analysis."""
+        return self.download + self.analysis
+
+
+def _default_events(size_mb: float, events_per_mb: Optional[float]) -> int:
+    scale = EVENTS_PER_MB if events_per_mb is None else events_per_mb
+    return max(200, int(size_mb * scale))
+
+
+def run_grid_experiment(
+    size_mb: float,
+    n_nodes: int,
+    events_per_mb: Optional[float] = None,
+    analysis_source: str = higgs.SOURCE,
+    analysis_parameters: Optional[dict] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    merge_fan_in: Optional[int] = None,
+    split_strategy: str = "by-events",
+    poll_interval: float = 5.0,
+    content_seed: int = 500,
+    collect_tree: bool = True,
+) -> GridBreakdown:
+    """Run the full grid pipeline once and return its phase breakdown.
+
+    Parameters
+    ----------
+    size_mb, n_nodes:
+        The sweep variables of Tables 1-2 and Figure 5.
+    events_per_mb:
+        Event density; defaults to the reference dataset's (lower it to
+        speed up large sweeps — timing is driven by ``size_mb``, not the
+        event count).
+    analysis_source, analysis_parameters:
+        The staged user code (defaults to the Higgs search).
+    """
+    site = GridSite(
+        SiteConfig(n_workers=n_nodes, merge_fan_in=merge_fan_in), calibration
+    )
+    n_events = _default_events(size_mb, events_per_mb)
+    site.register_dataset(
+        "exp-dataset",
+        "/exp/dataset",
+        size_mb=size_mb,
+        n_events=n_events,
+        metadata={"experiment": "ilc"},
+        content={"kind": "ilc", "seed": content_seed},
+    )
+    user = site.enroll_user("/O=ILC/CN=experimenter")
+    client = IPAClient(site, user)
+    breakdown = GridBreakdown(
+        size_mb=size_mb,
+        n_nodes=n_nodes,
+        session_setup=0.0,
+        move_whole=0.0,
+        split=0.0,
+        move_parts=0.0,
+        stage_code=0.0,
+        analysis=0.0,
+    )
+
+    def scenario():
+        env = site.env
+        start = env.now
+        yield from client.obtain_proxy_and_connect(n_engines=n_nodes)
+        breakdown.session_setup = env.now - start
+
+        staged = yield from client.select_dataset(
+            "exp-dataset", strategy=split_strategy
+        )
+        breakdown.move_whole = staged.fetch_seconds
+        breakdown.split = staged.split_seconds
+        breakdown.move_parts = staged.move_parts_seconds
+
+        breakdown.stage_code = yield from client.upload_code(
+            analysis_source, parameters=analysis_parameters
+        )
+
+        run_started = env.now
+        yield from client.run()
+        result = yield from client.wait_for_completion(poll_interval=poll_interval)
+        breakdown.analysis = env.now - run_started
+        if collect_tree:
+            breakdown.tree = result.tree
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+    return breakdown
+
+
+def run_local_experiment(
+    size_mb: float,
+    events_per_mb: Optional[float] = None,
+    analysis_source: str = higgs.SOURCE,
+    analysis_parameters: Optional[dict] = None,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    content_seed: int = 500,
+    compute_results: bool = False,
+) -> LocalBreakdown:
+    """Run the local baseline: WAN download + single-CPU analysis.
+
+    With ``compute_results=True`` the events are actually analyzed (same
+    deterministic content as the grid run with the same seed) so results
+    can be compared bin by bin.
+    """
+    site = GridSite(SiteConfig(n_workers=1), calibration)
+    env = site.env
+    breakdown = LocalBreakdown(size_mb=size_mb, download=0.0, analysis=0.0)
+    n_events = _default_events(size_mb, events_per_mb)
+
+    def scenario():
+        start = env.now
+        # WAN download of the whole dataset to the desktop.
+        yield site.network.transfer("repository", "desktop", size_mb)
+        yield site.desktop.disk_write(size_mb)
+        breakdown.download = env.now - start
+        # Single-processor analysis at the desktop's calibrated rate.
+        start = env.now
+        yield env.timeout(size_mb * calibration.local_analysis_rate_s_per_mb)
+        breakdown.analysis = env.now - start
+
+    env.run(until=env.process(scenario()))
+    if compute_results:
+        content = ContentStore()
+        batch = content.events_for(
+            {"kind": "ilc", "seed": content_seed}, 0, n_events
+        )
+        bundle = CodeBundle(
+            analysis_source, parameters=dict(analysis_parameters or {})
+        )
+        breakdown.tree = run_local(bundle, batch)
+    return breakdown

@@ -1,0 +1,360 @@
+"""GridSite: one-call assembly of the full simulated deployment of Fig. 2.
+
+Builds, on a fresh simulation environment:
+
+* the network (desktop —WAN— site; repository —LAN— storage element;
+  per-worker LAN links; manager links for code staging and result polling);
+* the nodes (desktop, manager, storage element, N workers) and the compute
+  element with its batch scheduler (dedicated interactive queue + a slow
+  batch queue);
+* the security fabric (CA, service credential, VO, site policy, GRAM
+  gatekeeper);
+* every manager service (catalog, locator, splitter, registry, code
+  loader, AIDA manager, session service, control service) registered in a
+  :class:`~repro.services.envelope.ServiceContainer`;
+* standard catalog content: the ILC simulation datasets of the paper's
+  evaluation plus a trading-records dataset for the cross-domain example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import DEFAULT_CALIBRATION, Calibration
+from repro.grid.gram import GramGatekeeper
+from repro.grid.network import Network
+from repro.grid.nodes import (
+    ComputeElement,
+    ManagerNode,
+    NodeSpec,
+    StorageElement,
+    WorkerNode,
+)
+from repro.grid.scheduler import BatchScheduler, QueueSpec
+from repro.grid.security import (
+    AuthorizationService,
+    CertificateAuthority,
+    Credential,
+    SitePolicy,
+    VirtualOrganization,
+)
+from repro.grid.transfer import GridFTPService
+from repro.services.aida_manager import AIDAManagerService
+from repro.services.catalog import DatasetCatalogService, DatasetEntry
+from repro.services.codeloader import ManagingClassLoaderService
+from repro.services.content import ContentStore
+from repro.services.control import ControlService
+from repro.services.envelope import ServiceContainer
+from repro.services.locator import DatasetLocation, LocatorService
+from repro.services.registry import WorkerRegistryService
+from repro.services.session import SessionService
+from repro.services.splitter import SplitterService
+from repro.sim import Environment
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """Shape of the simulated site.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker-node count (the paper's dedicated queue had 16).
+    max_engines_per_session:
+        VO policy ceiling (defaults to ``n_workers``).
+    merge_fan_in:
+        AIDA manager sub-merger fan-in (``None`` = flat merge).
+    session_lifetime:
+        WSRF lifetime of session resources in seconds (``None`` =
+        immortal).
+    """
+
+    n_workers: int = 16
+    max_engines_per_session: Optional[int] = None
+    merge_fan_in: Optional[int] = None
+    session_lifetime: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+
+
+class GridSite:
+    """The assembled simulated grid site plus its service container."""
+
+    def __init__(
+        self,
+        config: SiteConfig = SiteConfig(),
+        calibration: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.config = config
+        self.calibration = calibration
+        cal = calibration
+        self.env = Environment()
+        env = self.env
+
+        # -- network ---------------------------------------------------
+        net = Network(env)
+        self.network = net
+        net.add_host("desktop", site="home")
+        net.add_host("repository", site="archive")
+        net.add_host("manager", site="slac")
+        net.add_host("se", site="slac")
+        net.add_link(
+            "wan-desktop-repo",
+            "desktop",
+            "repository",
+            bandwidth=cal.wan_bandwidth_mbps,
+            latency=cal.wan_latency_s,
+        )
+        net.add_link(
+            "wan-desktop-manager",
+            "desktop",
+            "manager",
+            bandwidth=cal.wan_bandwidth_mbps,
+            latency=cal.wan_latency_s,
+        )
+        net.add_link(
+            "lan-repo-se",
+            "repository",
+            "se",
+            bandwidth=cal.lan_fetch_bandwidth_mbps,
+            latency=cal.lan_latency_s,
+        )
+        net.add_link(
+            "lan-manager-se",
+            "manager",
+            "se",
+            bandwidth=cal.lan_fetch_bandwidth_mbps,
+            latency=cal.lan_latency_s,
+        )
+
+        # -- nodes ---------------------------------------------------------
+        worker_spec = NodeSpec(
+            cpu_mhz=866.0, cores=1, disk_read_mbps=400.0, disk_write_mbps=400.0
+        )
+        se_spec = NodeSpec(
+            cpu_mhz=1000.0,
+            cores=1,
+            disk_read_mbps=cal.se_disk_mbps,
+            disk_write_mbps=cal.se_disk_mbps,
+        )
+        self.desktop = ManagerNode(
+            env, "desktop", NodeSpec(cpu_mhz=1700.0, disk_read_mbps=400, disk_write_mbps=400)
+        )
+        self.manager = ManagerNode(
+            env, "manager", NodeSpec(cpu_mhz=2000.0, disk_read_mbps=400, disk_write_mbps=400)
+        )
+        self.storage = StorageElement(env, "se", se_spec)
+        self.workers: List[WorkerNode] = []
+        for index in range(config.n_workers):
+            name = f"w{index}"
+            net.add_host(name, site="slac")
+            net.add_link(
+                f"lan-se-{name}",
+                "se",
+                name,
+                bandwidth=cal.worker_link_mbps,
+                latency=cal.lan_latency_s,
+            )
+            net.add_link(
+                f"lan-manager-{name}",
+                "manager",
+                name,
+                bandwidth=cal.worker_link_mbps,
+                latency=cal.lan_latency_s,
+            )
+            self.workers.append(WorkerNode(env, name, worker_spec))
+
+        # -- scheduler + security ----------------------------------------
+        self.element = ComputeElement("slac-osg", self.workers)
+        self.scheduler = BatchScheduler(env, self.element)
+        self.scheduler.add_queue(
+            QueueSpec(
+                "interactive",
+                priority=1,
+                dispatch_latency=cal.interactive_dispatch_s,
+            )
+        )
+        self.scheduler.add_queue(
+            QueueSpec("batch", priority=10, dispatch_latency=cal.batch_dispatch_s)
+        )
+        self.ca = CertificateAuthority("ipa-ca")
+        self.service_credential = self.ca.issue_identity(
+            "/O=SLAC/CN=ipa-service", now=0.0
+        )
+        self.vo = VirtualOrganization("ilc")
+        max_engines = (
+            config.max_engines_per_session
+            if config.max_engines_per_session is not None
+            else config.n_workers
+        )
+        self.policy = SitePolicy(
+            max_engines_per_session=max_engines,
+            interactive_queue="interactive",
+            allowed_vos=("ilc",),
+        )
+        self.authz = AuthorizationService([self.vo], self.policy)
+        self.gram = GramGatekeeper(
+            env,
+            self.scheduler,
+            self.ca,
+            self.authz,
+            auth_overhead=cal.gram_auth_overhead_s,
+        )
+
+        # -- transfer + services --------------------------------------------
+        self.ftp = GridFTPService(env, net, setup_overhead=0.2)
+        self.container = ServiceContainer(
+            env, soap_latency=cal.soap_latency_s, rmi_latency=cal.rmi_latency_s
+        )
+        self.catalog = DatasetCatalogService()
+        self.locator = LocatorService()
+        self.splitter = SplitterService(
+            env,
+            self.storage,
+            self.ftp,
+            split_rate=cal.split_rate_s_per_mb,
+            per_file_overhead=cal.split_per_file_overhead_s,
+        )
+        self.registry = WorkerRegistryService(env)
+        self.codeloader = ManagingClassLoaderService(
+            env, self.manager, self.ftp, stage_overhead=cal.code_stage_overhead_s
+        )
+        self.aida = AIDAManagerService(
+            env,
+            merge_cost_per_tree=cal.merge_cost_per_tree_s,
+            fan_in=config.merge_fan_in,
+        )
+        self.content_store = ContentStore()
+        self.session_service = SessionService(
+            env=env,
+            gram=self.gram,
+            registry=self.registry,
+            catalog=self.catalog,
+            locator=self.locator,
+            splitter=self.splitter,
+            codeloader=self.codeloader,
+            aida=self.aida,
+            ftp=self.ftp,
+            storage=self.storage,
+            content_store=self.content_store,
+            calibration=cal,
+            session_lifetime=config.session_lifetime,
+        )
+        self.control = ControlService(
+            env, self.ca, self.service_credential, self.session_service, self.container
+        )
+
+        # Expose services through the container (what the client calls).
+        self.container.register_object("catalog", self.catalog)
+        self.container.register_object("locator", self.locator)
+        self.container.register(
+            "control",
+            {
+                "create_session": self.control.create_session,
+                "close_session": self.control.close_session,
+            },
+        )
+        self.container.register(
+            "session",
+            {
+                "add_dataset": self.session_service.add_dataset,
+                "stage_code": self.session_service.stage_code,
+                "reload_code": self.session_service.reload_code,
+                "control": self.session_service.control,
+                "status": self.session_service.status,
+            },
+        )
+        self.container.register(
+            "aida",
+            {
+                "merged": lambda session_id: self.aida.merged(session_id),
+                "snapshot_count": self.aida.snapshot_count,
+            },
+        )
+
+    # -- users ---------------------------------------------------------
+    def enroll_user(self, subject: str, role: str = "member") -> Credential:
+        """Add a VO member and issue their identity credential."""
+        self.vo.add_member(subject, role)
+        return self.ca.issue_identity(subject, now=self.env.now)
+
+    # -- datasets ---------------------------------------------------------
+    def register_dataset(
+        self,
+        dataset_id: str,
+        path: str,
+        size_mb: float,
+        n_events: int,
+        metadata: Optional[dict] = None,
+        content: Optional[dict] = None,
+        origin_host: Optional[str] = "repository",
+        kind: str = "gridftp",
+    ) -> DatasetEntry:
+        """Register a dataset in catalog + locator in one step.
+
+        ``origin_host`` of ``"repository"`` means the file must first be
+        fetched over the site LAN to the SE ("move whole"); ``None`` means
+        it is already resident on the SE.  ``kind="database"`` registers a
+        contiguous-record DB location (no fetch, no split pass — §3.4).
+        """
+        if kind == "database":
+            origin_host = None  # range queries serve directly from the DB
+        entry = DatasetEntry(
+            dataset_id=dataset_id,
+            path=path,
+            metadata=dict(metadata or {}),
+            size_mb=size_mb,
+            n_events=n_events,
+            content=dict(content or {"kind": "ilc", "seed": 0}),
+        )
+        self.catalog.register(entry)
+        self.locator.add_location(
+            DatasetLocation(
+                dataset_id=dataset_id,
+                kind=kind,
+                host="se",
+                path=f"/store/{dataset_id}.ipad",
+                size_mb=size_mb,
+                n_events=n_events,
+                splitter_host="se",
+                origin_host=origin_host,
+            )
+        )
+        return entry
+
+    def register_standard_datasets(self) -> None:
+        """Register the paper-scale ILC datasets plus the trading dataset."""
+        self.register_dataset(
+            "ilc-zh-500gev",
+            "/ilc/simulation/zh-500gev",
+            size_mb=471.0,
+            n_events=40_000,
+            metadata={
+                "experiment": "ilc",
+                "process": "zh",
+                "energy": 500,
+                "detector": "sid",
+                "format": "ipad",
+            },
+            content={"kind": "ilc", "seed": 500},
+        )
+        self.register_dataset(
+            "ilc-zh-small",
+            "/ilc/simulation/zh-small",
+            size_mb=10.0,
+            n_events=2_000,
+            metadata={"experiment": "ilc", "process": "zh", "energy": 500},
+            content={"kind": "ilc", "seed": 501},
+        )
+        self.register_dataset(
+            "trading-nyse-2006",
+            "/business/trading/nyse-2006",
+            size_mb=50.0,
+            n_events=5_000,
+            metadata={"domain": "finance", "venue": "nyse", "year": 2006},
+            content={"kind": "trading", "seed": 77, "trades_per_day": 50},
+            origin_host=None,
+        )

@@ -1,0 +1,241 @@
+"""Seekable, splittable binary record format for event datasets.
+
+Layout (little-endian)::
+
+    magic   b"IPAD"            4 bytes
+    version uint32             currently 1
+    meta_len uint64 + meta     JSON metadata (dataset name, counts, ...)
+    batch blocks ...           each self-describing (see _write_batch)
+    index block                JSON: byte offset + event range per batch
+    index_len uint64
+    magic   b"DAPI"            trailing magic
+
+The per-batch index is what makes the Splitter service cheap: any event
+range can be located and read without scanning the whole file, mirroring
+how record-based physics formats (LCIO et al.) support splitting (§3.4).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dataset.events import EventBatch
+
+MAGIC_HEAD = b"IPAD"
+MAGIC_TAIL = b"DAPI"
+VERSION = 1
+
+_ARRAYS: Tuple[Tuple[str, np.dtype], ...] = (
+    ("event_ids", np.dtype("<i8")),
+    ("process", np.dtype("<i2")),
+    ("weights", np.dtype("<f8")),
+    ("offsets", np.dtype("<i8")),
+    ("pdg", np.dtype("<i4")),
+    ("e", np.dtype("<f8")),
+    ("px", np.dtype("<f8")),
+    ("py", np.dtype("<f8")),
+    ("pz", np.dtype("<f8")),
+)
+
+
+class FormatError(Exception):
+    """Raised on malformed dataset files."""
+
+
+class DatasetWriter:
+    """Streams event batches into a dataset file.
+
+    Use as a context manager::
+
+        with DatasetWriter(path, meta={"name": "ilc-zh"}) as writer:
+            for batch in generator.stream(100_000):
+                writer.write_batch(batch)
+    """
+
+    def __init__(self, path: Union[str, Path], meta: Optional[dict] = None) -> None:
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self._file = open(self.path, "wb")
+        self._index: List[dict] = []
+        self._events_written = 0
+        self._closed = False
+        self._file.write(MAGIC_HEAD)
+        self._file.write(struct.pack("<I", VERSION))
+        meta_blob = json.dumps(self.meta).encode()
+        self._file.write(struct.pack("<Q", len(meta_blob)))
+        self._file.write(meta_blob)
+
+    def write_batch(self, batch: EventBatch) -> None:
+        """Append one batch (empty batches are skipped)."""
+        if self._closed:
+            raise FormatError("writer already closed")
+        if len(batch) == 0:
+            return
+        offset = self._file.tell()
+        lengths = []
+        for name, dtype in _ARRAYS:
+            arr = np.ascontiguousarray(getattr(batch, name), dtype=dtype)
+            lengths.append(len(arr))
+        self._file.write(struct.pack("<" + "Q" * len(lengths), *lengths))
+        for name, dtype in _ARRAYS:
+            arr = np.ascontiguousarray(getattr(batch, name), dtype=dtype)
+            self._file.write(arr.tobytes())
+        self._index.append(
+            {
+                "offset": offset,
+                "first_event": self._events_written,
+                "n_events": len(batch),
+            }
+        )
+        self._events_written += len(batch)
+
+    def close(self) -> None:
+        """Write the index/footer and close the file (idempotent)."""
+        if self._closed:
+            return
+        index_blob = json.dumps(
+            {"batches": self._index, "n_events": self._events_written}
+        ).encode()
+        self._file.write(index_blob)
+        self._file.write(struct.pack("<Q", len(index_blob)))
+        self._file.write(MAGIC_TAIL)
+        self._file.close()
+        self._closed = True
+
+    @property
+    def events_written(self) -> int:
+        """Number of events appended so far."""
+        return self._events_written
+
+    def __enter__(self) -> "DatasetWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()
+
+
+class DatasetReader:
+    """Random-access reader over a dataset file written by DatasetWriter."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        if self._file.read(4) != MAGIC_HEAD:
+            raise FormatError(f"{self.path}: bad magic")
+        (version,) = struct.unpack("<I", self._file.read(4))
+        if version != VERSION:
+            raise FormatError(f"{self.path}: unsupported version {version}")
+        (meta_len,) = struct.unpack("<Q", self._file.read(8))
+        self.meta: dict = json.loads(self._file.read(meta_len))
+        # Footer: ... index_blob, index_len (8), magic (4).
+        self._file.seek(-12, 2)
+        (index_len,) = struct.unpack("<Q", self._file.read(8))
+        if self._file.read(4) != MAGIC_TAIL:
+            raise FormatError(f"{self.path}: bad trailing magic (truncated?)")
+        self._file.seek(-(12 + index_len), 2)
+        index = json.loads(self._file.read(index_len))
+        self._batches: List[dict] = index["batches"]
+        self.n_events: int = index["n_events"]
+
+    # -- sizing ------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """File size in bytes."""
+        return self.path.stat().st_size
+
+    @property
+    def size_mb(self) -> float:
+        """File size in MB (10^6 bytes, matching the paper's units)."""
+        return self.size_bytes / 1e6
+
+    @property
+    def n_batches(self) -> int:
+        """Number of batch blocks in the file."""
+        return len(self._batches)
+
+    def batch_ranges(self) -> List[Tuple[int, int]]:
+        """Event ranges [first, first+n) of each batch block."""
+        return [
+            (b["first_event"], b["first_event"] + b["n_events"])
+            for b in self._batches
+        ]
+
+    # -- reading ------------------------------------------------------------
+    def _read_batch_block(self, entry: dict) -> EventBatch:
+        self._file.seek(entry["offset"])
+        lengths = struct.unpack(
+            "<" + "Q" * len(_ARRAYS), self._file.read(8 * len(_ARRAYS))
+        )
+        arrays = {}
+        for (name, dtype), length in zip(_ARRAYS, lengths):
+            blob = self._file.read(int(length) * dtype.itemsize)
+            if len(blob) != int(length) * dtype.itemsize:
+                raise FormatError(f"{self.path}: truncated batch block")
+            arrays[name] = np.frombuffer(blob, dtype=dtype).copy()
+        return EventBatch(**arrays)
+
+    def read_batch(self, index: int) -> EventBatch:
+        """Read batch block *index*."""
+        if not 0 <= index < len(self._batches):
+            raise IndexError(f"batch index {index} out of range")
+        return self._read_batch_block(self._batches[index])
+
+    def read_range(self, start: int, stop: int) -> EventBatch:
+        """Read events [start, stop) as one batch, using the index to seek."""
+        if not 0 <= start <= stop <= self.n_events:
+            raise IndexError(
+                f"bad range [{start}, {stop}) of {self.n_events} events"
+            )
+        picked: List[EventBatch] = []
+        for entry in self._batches:
+            first = entry["first_event"]
+            last = first + entry["n_events"]
+            if last <= start or first >= stop:
+                continue
+            batch = self._read_batch_block(entry)
+            lo = max(start, first) - first
+            hi = min(stop, last) - first
+            picked.append(batch.slice(lo, hi))
+        return EventBatch.concatenate(picked)
+
+    def iter_batches(self) -> Iterator[EventBatch]:
+        """Iterate over all batch blocks in order."""
+        for entry in self._batches:
+            yield self._read_batch_block(entry)
+
+    def read_all(self) -> EventBatch:
+        """Load the whole dataset as one batch."""
+        return EventBatch.concatenate(list(self.iter_batches()))
+
+    def close(self) -> None:
+        """Close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "DatasetReader":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<DatasetReader {self.path.name!r} events={self.n_events} "
+            f"size={self.size_mb:.2f} MB>"
+        )
+
+
+def write_dataset(
+    path: Union[str, Path],
+    batches: Sequence[EventBatch],
+    meta: Optional[dict] = None,
+) -> Path:
+    """Convenience: write *batches* to *path* and return the path."""
+    with DatasetWriter(path, meta=meta) as writer:
+        for batch in batches:
+            writer.write_batch(batch)
+    return Path(path)

@@ -1,0 +1,166 @@
+"""Vectorized relativistic kinematics (natural units, GeV).
+
+All functions operate on numpy arrays of shape ``(..., )`` for each
+component, so whole event batches are processed without Python loops (per
+the HPC guide: vectorize the hot path).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Particle masses in GeV.
+MASS_HIGGS = 120.0  # the 2006-era light-Higgs benchmark used in LC studies
+MASS_Z = 91.1876
+MASS_W = 80.385
+MASS_B = 4.18
+MASS_MUON = 0.1057
+
+
+def invariant_mass(
+    e: np.ndarray, px: np.ndarray, py: np.ndarray, pz: np.ndarray
+) -> np.ndarray:
+    """Invariant mass sqrt(max(E^2 - |p|^2, 0)) of four-vectors."""
+    m2 = e * e - px * px - py * py - pz * pz
+    return np.sqrt(np.clip(m2, 0.0, None))
+
+
+def pair_mass(
+    e1, px1, py1, pz1, e2, px2, py2, pz2
+) -> np.ndarray:
+    """Invariant mass of the sum of two four-vectors."""
+    return invariant_mass(e1 + e2, px1 + px2, py1 + py2, pz1 + pz2)
+
+
+def momentum(px: np.ndarray, py: np.ndarray, pz: np.ndarray) -> np.ndarray:
+    """Magnitude of the three-momentum."""
+    return np.sqrt(px * px + py * py + pz * pz)
+
+
+def transverse_momentum(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+    """pT = sqrt(px^2 + py^2)."""
+    return np.sqrt(px * px + py * py)
+
+
+def pseudorapidity(px: np.ndarray, py: np.ndarray, pz: np.ndarray) -> np.ndarray:
+    """eta = atanh(pz / |p|), clipped for numerical safety."""
+    p = momentum(px, py, pz)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.clip(np.where(p > 0, pz / p, 0.0), -1 + 1e-15, 1 - 1e-15)
+    return np.arctanh(ratio)
+
+
+def azimuth(px: np.ndarray, py: np.ndarray) -> np.ndarray:
+    """phi = atan2(py, px) in (-pi, pi]."""
+    return np.arctan2(py, px)
+
+
+def two_body_momentum(parent_mass: float, m1: float, m2: float) -> float:
+    """Momentum of either daughter in a two-body decay at rest.
+
+    Standard Källén formula: ``p* = sqrt(lambda(M^2, m1^2, m2^2)) / (2 M)``.
+    Raises ``ValueError`` if the decay is kinematically closed.
+    """
+    if parent_mass <= 0:
+        raise ValueError("parent_mass must be > 0")
+    if parent_mass < m1 + m2:
+        raise ValueError(
+            f"decay closed: M={parent_mass} < m1+m2={m1 + m2}"
+        )
+    term1 = parent_mass**2 - (m1 + m2) ** 2
+    term2 = parent_mass**2 - (m1 - m2) ** 2
+    return float(np.sqrt(term1 * term2) / (2 * parent_mass))
+
+
+def isotropic_directions(
+    n: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unit vectors uniformly distributed on the sphere (shape (n,) each)."""
+    cos_theta = rng.uniform(-1.0, 1.0, n)
+    sin_theta = np.sqrt(1.0 - cos_theta**2)
+    phi = rng.uniform(-np.pi, np.pi, n)
+    return sin_theta * np.cos(phi), sin_theta * np.sin(phi), cos_theta
+
+
+def boost(
+    e: np.ndarray,
+    px: np.ndarray,
+    py: np.ndarray,
+    pz: np.ndarray,
+    bx: np.ndarray,
+    by: np.ndarray,
+    bz: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Lorentz-boost four-vectors by velocity (bx, by, bz) (vectorized).
+
+    Follows the standard active boost: a particle at rest acquires the
+    boost velocity.  ``|b|`` must be < 1 elementwise.
+    """
+    b2 = bx * bx + by * by + bz * bz
+    if np.any(b2 >= 1.0):
+        raise ValueError("boost velocity must satisfy |b| < 1")
+    gamma = 1.0 / np.sqrt(1.0 - b2)
+    bp = bx * px + by * py + bz * pz
+    # gamma2 = (gamma - 1)/b^2, well-defined as b -> 0.
+    gamma2 = np.where(b2 > 0, (gamma - 1.0) / np.where(b2 > 0, b2, 1.0), 0.0)
+    factor = gamma2 * bp + gamma * e
+    return (
+        gamma * (e + bp),
+        px + factor * bx,
+        py + factor * by,
+        pz + factor * bz,
+    )
+
+
+def two_body_decay(
+    parent_e: np.ndarray,
+    parent_px: np.ndarray,
+    parent_py: np.ndarray,
+    parent_pz: np.ndarray,
+    m1: float,
+    m2: float,
+    rng: np.random.Generator,
+) -> Tuple[Tuple[np.ndarray, ...], Tuple[np.ndarray, ...]]:
+    """Decay each parent four-vector into two daughters (vectorized).
+
+    Daughters are emitted isotropically in the parent rest frame and boosted
+    to the lab.  Returns two (e, px, py, pz) tuples.
+    """
+    parent_e = np.asarray(parent_e, dtype=float)
+    n = parent_e.shape[0]
+    parent_mass = invariant_mass(parent_e, parent_px, parent_py, parent_pz)
+    if np.any(parent_mass < m1 + m2 - 1e-9):
+        raise ValueError("some parents below decay threshold")
+    term1 = parent_mass**2 - (m1 + m2) ** 2
+    term2 = parent_mass**2 - (m1 - m2) ** 2
+    pstar = np.sqrt(np.clip(term1 * term2, 0.0, None)) / (2 * parent_mass)
+    ux, uy, uz = isotropic_directions(n, rng)
+    e1 = np.sqrt(pstar**2 + m1**2)
+    e2 = np.sqrt(pstar**2 + m2**2)
+    # Velocity of the parent.
+    bx = parent_px / parent_e
+    by = parent_py / parent_e
+    bz = parent_pz / parent_e
+    d1 = boost(e1, pstar * ux, pstar * uy, pstar * uz, bx, by, bz)
+    d2 = boost(e2, -pstar * ux, -pstar * uy, -pstar * uz, bx, by, bz)
+    return d1, d2
+
+
+def smear_energies(
+    e: np.ndarray,
+    rng: np.random.Generator,
+    stochastic: float = 0.6,
+    constant: float = 0.02,
+) -> np.ndarray:
+    """Apply calorimeter-style Gaussian smearing to energies.
+
+    Resolution ``sigma/E = stochastic / sqrt(E) (+) constant`` — the 60%/sqrt(E)
+    jet-energy resolution typical of 2006-era LC detector studies.
+    Energies stay positive.
+    """
+    e = np.asarray(e, dtype=float)
+    sigma = e * np.sqrt(stochastic**2 / np.clip(e, 1e-9, None) + constant**2)
+    smeared = rng.normal(e, sigma)
+    return np.clip(smeared, 1e-6, None)

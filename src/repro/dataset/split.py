@@ -1,0 +1,168 @@
+"""Dataset splitting strategies for the Splitter service (§3.4).
+
+The paper's splitter "will import the dataset from the actual location and
+split it into a pre-configured number of approximately equal parts", one
+per analysis engine.  Two strategies are provided and ablated in
+``benchmarks/bench_splitter.py``:
+
+* ``by-events`` — equal event counts per part (simple, but parts can have
+  unequal byte sizes when event sizes vary);
+* ``by-bytes`` — part boundaries chosen so byte sizes are approximately
+  equal (balances transfer time; event counts can differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.dataset.events import EventBatch
+from repro.dataset.format import DatasetReader, DatasetWriter
+
+
+@dataclass(frozen=True)
+class SplitPart:
+    """One part of a split plan: an event range plus its estimated size."""
+
+    index: int
+    start_event: int
+    stop_event: int
+    est_size_mb: float
+
+    @property
+    def n_events(self) -> int:
+        """Events in this part."""
+        return self.stop_event - self.start_event
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """A complete split of a dataset into parts."""
+
+    strategy: str
+    parts: List[SplitPart]
+
+    @property
+    def n_parts(self) -> int:
+        """Number of parts."""
+        return len(self.parts)
+
+    @property
+    def total_events(self) -> int:
+        """Total events covered by the plan."""
+        return sum(p.n_events for p in self.parts)
+
+    def skew(self) -> float:
+        """Max/mean part size ratio (1.0 = perfectly balanced)."""
+        sizes = [p.est_size_mb for p in self.parts]
+        mean = float(np.mean(sizes)) if sizes else 0.0
+        return max(sizes) / mean if mean > 0 else 1.0
+
+
+def plan_split(
+    reader: DatasetReader,
+    n_parts: int,
+    strategy: str = "by-events",
+    event_sizes: Optional[np.ndarray] = None,
+) -> SplitPlan:
+    """Compute a split plan over *reader*'s events.
+
+    Parameters
+    ----------
+    n_parts:
+        Desired number of parts (>= 1).  If the dataset has fewer events
+        than parts, trailing parts are empty ranges.
+    strategy:
+        ``"by-events"`` or ``"by-bytes"``.
+    event_sizes:
+        Optional per-event byte sizes (for by-bytes); derived from particle
+        multiplicities when omitted.
+
+    Raises
+    ------
+    ValueError
+        On unknown strategies or invalid part counts.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    n_events = reader.n_events
+    total_mb = reader.size_mb
+
+    if strategy == "by-events":
+        bounds = np.linspace(0, n_events, n_parts + 1).astype(int)
+    elif strategy == "by-bytes":
+        if event_sizes is None:
+            event_sizes = _estimate_event_sizes(reader)
+        cumulative = np.concatenate([[0.0], np.cumsum(event_sizes)])
+        targets = np.linspace(0, cumulative[-1], n_parts + 1)
+        bounds = np.searchsorted(cumulative, targets, side="left")
+        bounds[0], bounds[-1] = 0, n_events
+        bounds = np.maximum.accumulate(bounds)
+    else:
+        raise ValueError(f"unknown split strategy {strategy!r}")
+
+    per_event_mb = total_mb / n_events if n_events else 0.0
+    if strategy == "by-bytes" and event_sizes is not None and n_events:
+        total_units = float(np.sum(event_sizes))
+        parts = []
+        for index in range(n_parts):
+            lo, hi = int(bounds[index]), int(bounds[index + 1])
+            units = float(np.sum(event_sizes[lo:hi]))
+            size = total_mb * (units / total_units) if total_units else 0.0
+            parts.append(SplitPart(index, lo, hi, size))
+    else:
+        parts = [
+            SplitPart(
+                index,
+                int(bounds[index]),
+                int(bounds[index + 1]),
+                per_event_mb * (int(bounds[index + 1]) - int(bounds[index])),
+            )
+            for index in range(n_parts)
+        ]
+    return SplitPlan(strategy=strategy, parts=parts)
+
+
+def _estimate_event_sizes(reader: DatasetReader) -> np.ndarray:
+    """Per-event size proxy: particle multiplicity (+ fixed overhead)."""
+    sizes: List[np.ndarray] = []
+    for batch in reader.iter_batches():
+        counts = np.diff(batch.offsets).astype(float)
+        sizes.append(counts + 2.0)  # header fields per event
+    return np.concatenate(sizes) if sizes else np.zeros(0)
+
+
+def write_split_parts(
+    reader: DatasetReader,
+    plan: SplitPlan,
+    out_dir: Union[str, Path],
+    base_name: str = "part",
+) -> List[Path]:
+    """Materialize a plan into per-part dataset files.
+
+    Each part file carries the parent metadata plus its part index and
+    event range, so an engine can verify it was handed the right slice.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for part in plan.parts:
+        path = out_dir / f"{base_name}-{part.index:04d}.ipad"
+        meta = dict(reader.meta)
+        meta.update(
+            {
+                "part_index": part.index,
+                "part_of": plan.n_parts,
+                "event_range": [part.start_event, part.stop_event],
+            }
+        )
+        with DatasetWriter(path, meta=meta) as writer:
+            if part.n_events:
+                writer.write_batch(
+                    reader.read_range(part.start_event, part.stop_event)
+                )
+        paths.append(path)
+    return paths

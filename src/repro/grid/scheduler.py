@@ -1,0 +1,264 @@
+"""Batch scheduler with a dedicated interactive queue.
+
+The paper's key site-level requirement (§1, §6) is "a dedicated timely
+scheduler queue": interactive analysis engines must start "within the limits
+of human tolerance" (§2.3), which an ordinary batch queue full of
+multi-hour production jobs cannot guarantee.
+
+This scheduler models a simplified LSF/PBS:
+
+* named queues, each with a *priority* (lower = dispatched first), a
+  *dispatch latency* (how long the scheduler takes to place a runnable job —
+  batch schedulers of the era polled every 30–60 s, the dedicated
+  interactive queue here dispatches in ~1 s) and an optional *wall-time
+  limit*;
+* one job occupies one worker node; jobs wait until a worker is idle;
+* jobs can be cancelled while pending or running (session shutdown kills
+  the engines, §2.3: "started for each session and shut down at the end").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Callable, Dict, Generator, List, Optional
+
+from repro.grid.nodes import ComputeElement, WorkerNode
+from repro.sim import Environment, Event, Interrupt, Process
+
+
+class SchedulerError(Exception):
+    """Raised for invalid scheduler operations."""
+
+
+class JobState:
+    """Job lifecycle states (string constants)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    KILLED = "killed"  # exceeded wall-time
+
+    TERMINAL = frozenset({COMPLETED, FAILED, CANCELLED, KILLED})
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """Configuration of one scheduler queue.
+
+    Parameters
+    ----------
+    name:
+        Queue name (e.g. ``"interactive"``, ``"batch"``).
+    priority:
+        Dispatch priority; lower values dispatch first.
+    dispatch_latency:
+        Seconds between a worker becoming available and the job actually
+        starting (scheduler polling / placement cost).
+    max_wall_time:
+        Optional per-job run-time ceiling in seconds.
+    """
+
+    name: str
+    priority: int = 10
+    dispatch_latency: float = 30.0
+    max_wall_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.dispatch_latency < 0:
+            raise ValueError("dispatch_latency must be >= 0")
+        if self.max_wall_time is not None and self.max_wall_time <= 0:
+            raise ValueError("max_wall_time must be > 0")
+
+
+class Job:
+    """A scheduled unit of work bound to one worker node.
+
+    The *body* is a callable ``body(env, worker) -> generator`` executed as a
+    simulation process once the job is dispatched.  :attr:`done` is an event
+    that fires (successfully) when the job reaches a terminal state; its
+    value is the job itself.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        name: str,
+        queue: str,
+        body: Callable[[Environment, WorkerNode], Generator],
+        env: Environment,
+    ) -> None:
+        self.id = job_id
+        self.name = name
+        self.queue = queue
+        self.body = body
+        self.state = JobState.PENDING
+        self.worker: Optional[WorkerNode] = None
+        self.submit_time = env.now
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.done: Event = env.event()
+        self._process: Optional[Process] = None
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queue wait (submit → start), once started."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Job {self.id} {self.name!r} {self.state}>"
+
+
+class BatchScheduler:
+    """Multi-queue scheduler over a :class:`ComputeElement`'s workers."""
+
+    def __init__(self, env: Environment, element: ComputeElement) -> None:
+        self.env = env
+        self.element = element
+        self._queues: Dict[str, QueueSpec] = {}
+        self._pending: List[Job] = []
+        self._job_seq = count(1)
+        self._jobs: Dict[int, Job] = {}
+        self._wakeup: Event = env.event()
+        self._idle: List[WorkerNode] = list(element.workers)
+        env.process(self._dispatcher())
+
+    # -- configuration --------------------------------------------------
+    def add_queue(self, spec: QueueSpec) -> None:
+        """Register a queue; names must be unique."""
+        if spec.name in self._queues:
+            raise SchedulerError(f"queue {spec.name!r} already exists")
+        self._queues[spec.name] = spec
+
+    @property
+    def queues(self) -> Dict[str, QueueSpec]:
+        """All registered queues by name."""
+        return dict(self._queues)
+
+    # -- submission -------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        queue: str,
+        body: Callable[[Environment, WorkerNode], Generator],
+    ) -> Job:
+        """Queue a job; returns the :class:`Job` handle immediately."""
+        if queue not in self._queues:
+            raise SchedulerError(f"unknown queue {queue!r}")
+        job = Job(next(self._job_seq), name, queue, body, self.env)
+        self._jobs[job.id] = job
+        self._pending.append(job)
+        self._kick()
+        return job
+
+    def job(self, job_id: int) -> Job:
+        """Look up a job by id."""
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise SchedulerError(f"unknown job id {job_id}") from None
+
+    def cancel(self, job_id: int, reason: str = "cancelled") -> None:
+        """Cancel a pending or running job (idempotent on terminal jobs)."""
+        job = self.job(job_id)
+        if job.state in JobState.TERMINAL:
+            return
+        if job.state == JobState.PENDING:
+            self._pending.remove(job)
+            self._finish(job, JobState.CANCELLED)
+        elif job._process is not None and job._process.is_alive:
+            job._process.interrupt(reason)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Jobs waiting for a worker."""
+        return len(self._pending)
+
+    @property
+    def running_count(self) -> int:
+        """Jobs currently executing."""
+        return sum(
+            1 for j in self._jobs.values() if j.state == JobState.RUNNING
+        )
+
+    @property
+    def idle_worker_count(self) -> int:
+        """Workers with no job assigned."""
+        return len(self._idle)
+
+    # -- internals --------------------------------------------------------
+    def _kick(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def _dispatcher(self):
+        while True:
+            # Dispatch as many jobs as there are idle workers, in
+            # (queue priority, submission order) order.
+            while self._pending and self._idle:
+                job = min(
+                    self._pending,
+                    key=lambda j: (self._queues[j.queue].priority, j.id),
+                )
+                self._pending.remove(job)
+                worker = self._idle.pop(0)
+                self.env.process(self._run_job(job, worker))
+            yield self._wakeup
+            self._wakeup = self.env.event()
+
+    def _run_job(self, job: Job, worker: WorkerNode):
+        spec = self._queues[job.queue]
+        if spec.dispatch_latency:
+            yield self.env.timeout(spec.dispatch_latency)
+        job.state = JobState.RUNNING
+        job.start_time = self.env.now
+        job.worker = worker
+        worker.engine_id = f"job-{job.id}"
+        body_proc = self.env.process(job.body(self.env, worker))
+        job._process = body_proc
+
+        watchdog: Optional[Process] = None
+        if spec.max_wall_time is not None:
+            watchdog = self.env.process(
+                self._watchdog(body_proc, spec.max_wall_time)
+            )
+        try:
+            job.result = yield body_proc
+            job_state = JobState.COMPLETED
+        except Interrupt as intr:
+            job.error = intr
+            job_state = (
+                JobState.KILLED
+                if intr.cause == "wall-time"
+                else JobState.CANCELLED
+            )
+        except BaseException as exc:  # job body crashed
+            job.error = exc
+            job_state = JobState.FAILED
+        if watchdog is not None and watchdog.is_alive:
+            watchdog.interrupt("job-done")
+        worker.engine_id = None
+        self._idle.append(worker)
+        self._finish(job, job_state)
+        self._kick()
+
+    def _watchdog(self, body_proc: Process, limit: float):
+        try:
+            yield self.env.timeout(limit)
+        except Interrupt:
+            return  # job finished in time
+        if body_proc.is_alive:
+            body_proc.interrupt("wall-time")
+
+    def _finish(self, job: Job, state: str) -> None:
+        job.state = state
+        job.end_time = self.env.now
+        if not job.done.triggered:
+            job.done.succeed(job)

@@ -1,0 +1,184 @@
+"""AIDA Manager Service: collect, merge, and serve intermediate results.
+
+"As soon as the analysis begins, the intermediate results from each
+individual analysis engines are collected and merged at the Manager node by
+a special manager service called the AIDA manager service.  A separate
+plug-in on the JAS client constantly polls the AIDA manager" (§3.7).
+
+Scalability (§2.5): with many engines the flat merge at one node becomes a
+bottleneck; the service therefore supports a configurable **fan-in**: with
+fan-in *f*, snapshots are merged through a tree of sub-mergers of degree
+*f* whose levels work in parallel, so merge latency grows like
+``f * ceil(log_f k)`` instead of ``k``.  ``bench_merge_tree.py`` ablates
+this.
+
+Correctness rules:
+
+* the latest snapshot per engine wins (snapshots are cumulative);
+* snapshots from an older ``run_id`` (pre-rewind) are discarded;
+* merging is the exact AIDA merge, so the served tree equals a
+  single-engine run over the concatenated data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.aida.tree import ObjectTree
+from repro.engine.engine import Snapshot
+from repro.sim import Environment, Process
+
+
+class MergeError(Exception):
+    """Raised on invalid manager operations."""
+
+
+@dataclass
+class MergeProgress:
+    """Progress summary returned alongside the merged tree."""
+
+    session_id: str
+    engines_reporting: int
+    events_processed: int
+    total_events: int
+    final_engines: int
+    run_id: int
+    analysis_versions: List[int]
+    merged_at: float
+
+    @property
+    def fraction_done(self) -> float:
+        """Fraction of events processed (0 when unknown)."""
+        if self.total_events <= 0:
+            return 0.0
+        return self.events_processed / self.total_events
+
+    @property
+    def complete(self) -> bool:
+        """True when every reporting engine delivered its final snapshot."""
+        return (
+            self.engines_reporting > 0
+            and self.final_engines == self.engines_reporting
+        )
+
+
+class AIDAManagerService:
+    """Stores per-engine snapshots and serves merged results.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (merge latency is charged on its clock).
+    merge_cost_per_tree:
+        Seconds to merge one snapshot tree into an accumulator.
+    fan_in:
+        Sub-merger tree degree; ``None`` = flat single-node merge (§2.5's
+        bottleneck case).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        merge_cost_per_tree: float = 0.05,
+        fan_in: Optional[int] = None,
+    ) -> None:
+        if merge_cost_per_tree < 0:
+            raise ValueError("merge_cost_per_tree must be >= 0")
+        if fan_in is not None and fan_in < 2:
+            raise ValueError("fan_in must be >= 2")
+        self.env = env
+        self.merge_cost_per_tree = merge_cost_per_tree
+        self.fan_in = fan_in
+        self._snapshots: Dict[str, Dict[str, Snapshot]] = {}
+        self._run_ids: Dict[str, int] = {}
+        #: (session_id, n_trees, latency) per merge, for the benchmarks.
+        self.merge_log: List[tuple] = []
+
+    # -- ingestion ----------------------------------------------------------
+    def submit_snapshot(self, session_id: str, snapshot: Snapshot) -> None:
+        """Accept an engine snapshot (latest-per-engine, current run only)."""
+        current_run = self._run_ids.get(session_id, 0)
+        if snapshot.run_id > current_run:
+            # A rewind happened: everything older is now invalid.
+            self._run_ids[session_id] = snapshot.run_id
+            self._snapshots[session_id] = {}
+            current_run = snapshot.run_id
+        elif snapshot.run_id < current_run:
+            return  # stale snapshot from before the rewind
+        session = self._snapshots.setdefault(session_id, {})
+        existing = session.get(snapshot.engine_id)
+        if existing is not None and existing.sequence >= snapshot.sequence:
+            return  # out-of-order delivery
+        session[snapshot.engine_id] = snapshot
+
+    def begin_run(self, session_id: str, run_id: int) -> None:
+        """Invalidate snapshots older than *run_id* (a rewind happened).
+
+        Called by the session service the moment it fans a rewind out, so
+        a client polling right after the rewind never sees the *previous*
+        run's (complete) results as if they were the new run's.
+        """
+        current = self._run_ids.get(session_id, 0)
+        if run_id > current:
+            self._run_ids[session_id] = run_id
+            self._snapshots[session_id] = {}
+
+    def drop_session(self, session_id: str) -> None:
+        """Forget a session's snapshots (session close)."""
+        self._snapshots.pop(session_id, None)
+        self._run_ids.pop(session_id, None)
+
+    # -- merge model ----------------------------------------------------------
+    def merge_latency(self, n_trees: int) -> float:
+        """Simulated seconds to merge *n_trees* snapshot trees.
+
+        Flat: ``cost * n``.  Tree of fan-in *f*: levels run in parallel, so
+        latency is ``cost * f * ceil(log_f n)`` (each level merges groups
+        of *f* concurrently).
+        """
+        if n_trees <= 1:
+            return self.merge_cost_per_tree * n_trees
+        if self.fan_in is None:
+            return self.merge_cost_per_tree * n_trees
+        levels = math.ceil(math.log(n_trees, self.fan_in))
+        return self.merge_cost_per_tree * self.fan_in * max(1, levels)
+
+    # -- serving ------------------------------------------------------------
+    def merged(self, session_id: str) -> Process:
+        """Merge the latest snapshots; value is ``(tree_dict, progress)``.
+
+        Charges the merge latency on the simulated clock, then performs the
+        exact merge.
+        """
+        def run():
+            session = dict(self._snapshots.get(session_id, {}))
+            latency = self.merge_latency(len(session))
+            if latency:
+                yield self.env.timeout(latency)
+            merged_tree = ObjectTree()
+            for snapshot in sorted(session.values(), key=lambda s: s.engine_id):
+                merged_tree.merge_from(ObjectTree.from_dict(snapshot.tree))
+            progress = MergeProgress(
+                session_id=session_id,
+                engines_reporting=len(session),
+                events_processed=sum(
+                    s.events_processed for s in session.values()
+                ),
+                total_events=sum(s.total_events for s in session.values()),
+                final_engines=sum(1 for s in session.values() if s.final),
+                run_id=self._run_ids.get(session_id, 0),
+                analysis_versions=sorted(
+                    {s.analysis_version for s in session.values()}
+                ),
+                merged_at=self.env.now,
+            )
+            self.merge_log.append((session_id, len(session), latency))
+            return merged_tree.to_dict(), progress
+
+        return self.env.process(run())
+
+    def snapshot_count(self, session_id: str) -> int:
+        """Engines with at least one stored snapshot."""
+        return len(self._snapshots.get(session_id, {}))

@@ -1,0 +1,79 @@
+"""Control Service: the authenticated front door of the manager node.
+
+"The client is authorized and authenticated by the control service using
+the proxy that was created by the client.  Similarly, the client
+authenticates the service for its validity using the mutual authentication
+mechanism ... The control service creates an instance of session service
+and returns the 'pointer' to this instance to the client" (§3.2).
+
+It also mints the session token that unlocks the cheap RMI polling channel
+("none of the RMI objects could be instantiated without first creating a
+secure session with the Web Service", §3.7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.grid.security import (
+    Certificate,
+    CertificateAuthority,
+    Credential,
+    SecurityContext,
+    mutual_authenticate,
+)
+from repro.services.envelope import ServiceContainer
+from repro.services.session import SessionInfo, SessionService
+from repro.sim import Environment
+
+
+class ControlService:
+    """Mutual authentication + session creation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        ca: CertificateAuthority,
+        service_credential: Credential,
+        session_service: SessionService,
+        container: ServiceContainer,
+    ) -> None:
+        self.env = env
+        self.ca = ca
+        self.service_credential = service_credential
+        self.session_service = session_service
+        self.container = container
+
+    def authenticate(self, client_chain: List[Certificate]) -> SecurityContext:
+        """GSI-style mutual authentication; returns the security context."""
+        return mutual_authenticate(
+            client_chain,
+            [self.service_credential.certificate],
+            self.ca,
+            self.env.now,
+        )
+
+    def create_session(
+        self,
+        client_chain: List[Certificate],
+        n_engines: Optional[int] = None,
+    ):
+        """Authenticate, authorize, and create a session (generator op).
+
+        Returns the :class:`~repro.services.session.SessionInfo`; the
+        session token is registered with the container so subsequent RMI
+        polling calls are accepted.
+        """
+        context = self.authenticate(client_chain)
+        info: SessionInfo = yield self.env.process(
+            self.session_service.create_session(context, client_chain, n_engines)
+        )
+        self.container.issue_token(info.token)
+        return info
+
+    def close_session(self, session_id: str):
+        """Close a session and revoke its RMI token (generator op)."""
+        token = self.session_service.token(session_id)
+        result = yield self.env.process(self.session_service.close(session_id))
+        self.container.revoke_token(token)
+        return result

@@ -1,0 +1,188 @@
+"""Message-envelope transport and the service container.
+
+The reference implementation hosts Java Web Services in a Globus GT4
+container and talks SOAP; the result-polling path uses insecure Java RMI
+(§3.7).  This module reproduces the *architecture* in-process:
+
+* services register named **operations** with a :class:`ServiceContainer`;
+* callers invoke them through :meth:`ServiceContainer.call`, which returns
+  a simulation process: the request pays the configured channel latency,
+  the operation runs (it may itself be a generator that advances simulated
+  time), and the response pays the return latency;
+* two channels exist, matching the paper: ``soap`` (secure, higher
+  overhead) and ``rmi`` (cheap polling channel); RMI operations require a
+  session token minted by the secure channel — "none of the RMI objects
+  could be instantiated without first creating a secure session" (§3.7);
+* faults raised by operations travel back as :class:`Fault` and re-raise
+  at the caller, and per-operation fault injection supports failure
+  testing.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim import Environment, Process
+
+
+class ServiceError(Exception):
+    """Raised for transport-level problems (unknown service/operation...)."""
+
+
+class Fault(Exception):
+    """An application-level fault returned by a service operation."""
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One request as it travels to a service."""
+
+    service: str
+    operation: str
+    args: dict
+    channel: str = "soap"
+    token: Optional[str] = None
+
+
+@dataclass
+class ChannelSpec:
+    """Latency/behaviour of one transport channel."""
+
+    name: str
+    request_latency: float = 0.05
+    response_latency: float = 0.05
+    requires_token: bool = False
+
+
+class ServiceContainer:
+    """Hosts services and dispatches envelopes with simulated latency.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    soap_latency:
+        One-way latency of the secure channel (mutual-auth'd SOAP over the
+        WAN in the paper's deployment).
+    rmi_latency:
+        One-way latency of the cheap polling channel.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        soap_latency: float = 0.25,
+        rmi_latency: float = 0.05,
+    ) -> None:
+        self.env = env
+        self._services: Dict[str, Dict[str, Callable]] = {}
+        self._channels: Dict[str, ChannelSpec] = {
+            "soap": ChannelSpec("soap", soap_latency, soap_latency),
+            "rmi": ChannelSpec(
+                "rmi", rmi_latency, rmi_latency, requires_token=True
+            ),
+        }
+        self._valid_tokens: set = set()
+        #: operation key -> exception to raise (fault injection).
+        self._injected_faults: Dict[str, Exception] = {}
+        #: Completed calls, for diagnostics: (service, operation, channel).
+        self.call_log: list = []
+
+    # -- registration -------------------------------------------------------
+    def register(self, service_name: str, operations: Dict[str, Callable]) -> None:
+        """Register a service's operations (callables or generators)."""
+        if service_name in self._services:
+            raise ServiceError(f"service {service_name!r} already registered")
+        self._services[service_name] = dict(operations)
+
+    def register_object(self, service_name: str, obj: Any) -> None:
+        """Register every public method of *obj* as an operation."""
+        operations = {
+            name: method
+            for name, method in inspect.getmembers(obj, callable)
+            if not name.startswith("_")
+        }
+        self.register(service_name, operations)
+
+    @property
+    def services(self) -> list:
+        """Names of registered services."""
+        return sorted(self._services)
+
+    # -- tokens ------------------------------------------------------------
+    def issue_token(self, token: str) -> None:
+        """Mark *token* as a valid session token for the RMI channel."""
+        self._valid_tokens.add(token)
+
+    def revoke_token(self, token: str) -> None:
+        """Invalidate a session token (idempotent)."""
+        self._valid_tokens.discard(token)
+
+    # -- fault injection -------------------------------------------------------
+    def inject_fault(
+        self, service: str, operation: str, error: Exception
+    ) -> None:
+        """Make the next calls to (service, operation) raise *error*."""
+        self._injected_faults[f"{service}.{operation}"] = error
+
+    def clear_fault(self, service: str, operation: str) -> None:
+        """Remove an injected fault (idempotent)."""
+        self._injected_faults.pop(f"{service}.{operation}", None)
+
+    # -- dispatch ------------------------------------------------------------
+    def call(
+        self,
+        service: str,
+        operation: str,
+        args: Optional[dict] = None,
+        channel: str = "soap",
+        token: Optional[str] = None,
+    ) -> Process:
+        """Invoke an operation; returns a waitable simulation process.
+
+        The process value is the operation's return value.  Transport and
+        application errors fail the process (raise at the ``yield`` site).
+        """
+        envelope = Envelope(service, operation, dict(args or {}), channel, token)
+        return self.env.process(self._dispatch(envelope))
+
+    def _dispatch(self, envelope: Envelope):
+        spec = self._channels.get(envelope.channel)
+        if spec is None:
+            raise ServiceError(f"unknown channel {envelope.channel!r}")
+        if spec.request_latency:
+            yield self.env.timeout(spec.request_latency)
+        if spec.requires_token and envelope.token not in self._valid_tokens:
+            raise Fault(
+                f"channel {envelope.channel!r} requires a valid session token"
+            )
+        operations = self._services.get(envelope.service)
+        if operations is None:
+            raise ServiceError(f"unknown service {envelope.service!r}")
+        handler = operations.get(envelope.operation)
+        if handler is None:
+            raise ServiceError(
+                f"service {envelope.service!r} has no operation "
+                f"{envelope.operation!r}"
+            )
+        injected = self._injected_faults.get(
+            f"{envelope.service}.{envelope.operation}"
+        )
+        if injected is not None:
+            raise injected
+
+        result = handler(**envelope.args)
+        if inspect.isgenerator(result):
+            # The operation advances simulated time itself.
+            result = yield self.env.process(result)
+        elif isinstance(result, Process):
+            # The operation already started a simulation process.
+            result = yield result
+        if spec.response_latency:
+            yield self.env.timeout(spec.response_latency)
+        self.call_log.append(
+            (envelope.service, envelope.operation, envelope.channel)
+        )
+        return result

@@ -1,0 +1,105 @@
+"""Worker Registry Server: analysis engines announce themselves here.
+
+Fig. 2: after GRAM starts an engine job on a worker, the engine sends a
+"ready signal with reference" to the registry; the session service waits on
+the registry until the expected number of engines is up, then hands out the
+references for data/code staging and control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim import Environment, Event
+
+
+class RegistryError(Exception):
+    """Raised on duplicate or unknown engine registrations."""
+
+
+@dataclass
+class EngineReference:
+    """What an engine publishes: identity, placement, and its mailbox.
+
+    The ``mailbox`` is the engine host's command queue (a simulation
+    ``Store``); services push staging/control directives into it — the
+    stand-in for the remote references of the Java implementation.
+    """
+
+    engine_id: str
+    session_id: str
+    worker: str
+    mailbox: Any
+    registered_at: float = 0.0
+
+
+class WorkerRegistryService:
+    """Tracks live engines per session and wakes waiters on arrival."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._engines: Dict[str, Dict[str, EngineReference]] = {}
+        self._waiters: Dict[str, List[tuple]] = {}
+
+    # -- engine side ---------------------------------------------------------
+    def register(self, reference: EngineReference) -> None:
+        """Record a ready engine; duplicate ids within a session rejected."""
+        session = self._engines.setdefault(reference.session_id, {})
+        if reference.engine_id in session:
+            raise RegistryError(
+                f"engine {reference.engine_id!r} already registered"
+            )
+        reference.registered_at = self.env.now
+        session[reference.engine_id] = reference
+        self._notify(reference.session_id)
+
+    def deregister(self, session_id: str, engine_id: str) -> None:
+        """Remove an engine (engine shutdown); idempotent."""
+        self._engines.get(session_id, {}).pop(engine_id, None)
+
+    def drop_session(self, session_id: str) -> None:
+        """Forget every engine of a session (session close)."""
+        self._engines.pop(session_id, None)
+        self._waiters.pop(session_id, None)
+
+    # -- session side ---------------------------------------------------------
+    def engines(self, session_id: str) -> List[EngineReference]:
+        """References of currently registered engines, in arrival order."""
+        return sorted(
+            self._engines.get(session_id, {}).values(),
+            key=lambda ref: (ref.registered_at, ref.engine_id),
+        )
+
+    def count(self, session_id: str) -> int:
+        """Number of ready engines for the session."""
+        return len(self._engines.get(session_id, {}))
+
+    def wait_for(self, session_id: str, count: int) -> Event:
+        """Event that fires once *count* engines are registered.
+
+        Fires immediately (already-triggered event) if the count is already
+        met.
+        """
+        if count < 0:
+            raise RegistryError("count must be >= 0")
+        event = self.env.event()
+        if self.count(session_id) >= count:
+            event.succeed(self.engines(session_id))
+            return event
+        self._waiters.setdefault(session_id, []).append((count, event))
+        return event
+
+    def _notify(self, session_id: str) -> None:
+        current = self.count(session_id)
+        waiters = self._waiters.get(session_id, [])
+        remaining = []
+        for count, event in waiters:
+            if current >= count and not event.triggered:
+                event.succeed(self.engines(session_id))
+            elif not event.triggered:
+                remaining.append((count, event))
+        if remaining:
+            self._waiters[session_id] = remaining
+        else:
+            self._waiters.pop(session_id, None)

@@ -1,0 +1,39 @@
+"""Exception types for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel itself."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at a target event.
+
+    The triggering event's value is carried in ``args[0]``.
+    """
+
+    @classmethod
+    def callback(cls, event: Any) -> None:
+        """Event callback that stops the simulation with the event's value."""
+        if event.ok:
+            raise cls(event.value)
+        raise event.exception
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called on it.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary object describing why the interrupt happened.  Available
+        as :attr:`cause` in the handler.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None

@@ -1,0 +1,273 @@
+"""Shared-resource primitives for the simulation kernel.
+
+``Resource``
+    A counted resource (e.g. CPU slots on a worker, scheduler slots).
+    Processes *request* a unit, possibly queueing, and *release* it.
+``PriorityResource``
+    Like ``Resource`` but the wait queue is ordered by a numeric priority
+    (lower value = served first).  Used for the dedicated "interactive"
+    scheduler queue the paper calls for.
+``Store``
+    A FIFO buffer of Python objects with blocking ``put``/``get``.
+``Container``
+    A continuous quantity (e.g. bytes of disk) with blocking ``put``/``get``.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, List, Optional
+
+from repro.sim.kernel import Environment, Event
+
+
+class Request(Event):
+    """Event returned by :meth:`Resource.request`.
+
+    Usable as a context manager so the unit is always released::
+
+        with resource.request() as req:
+            yield req
+            ... # hold the resource
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.usage_since: Optional[float] = None
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a queued request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+
+class PriorityRequest(Request):
+    """Request with a priority; lower values are granted first."""
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        self.priority = priority
+        super().__init__(resource)
+
+
+class Resource:
+    """A resource with integer ``capacity`` and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        """Total number of units."""
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of units currently in use."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Request one unit; the returned event fires when granted."""
+        req = Request(self)
+        self.queue.append(req)
+        self._trigger()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit (idempotent)."""
+        if request in self.users:
+            self.users.remove(request)
+        else:
+            self._cancel(request)
+        self._trigger()
+
+    def _cancel(self, request: Request) -> None:
+        if not request.triggered and request in self.queue:
+            self.queue.remove(request)
+
+    def _trigger(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            req = self._pop_next()
+            req.usage_since = self.env.now
+            self.users.append(req)
+            req.succeed()
+
+    def _pop_next(self) -> Request:
+        return self.queue.pop(0)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is served in ``(priority, fifo)`` order."""
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+        self._seq = count()
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        """Request one unit with *priority* (lower = more urgent)."""
+        req = PriorityRequest(self, priority)
+        heappush(self._heap, (priority, next(self._seq), req))
+        self.queue.append(req)
+        self._trigger()
+        return req
+
+    def _cancel(self, request: Request) -> None:
+        super()._cancel(request)
+        # Lazy deletion from the heap: entries for cancelled requests are
+        # skipped in _pop_next.
+
+    def _pop_next(self) -> Request:
+        while self._heap:
+            _, _, req = heappop(self._heap)
+            if req in self.queue:
+                self.queue.remove(req)
+                return req
+        raise RuntimeError("priority heap out of sync with queue")
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; fires once the item is stored."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; its value is the item."""
+
+    def __init__(self, store: "Store") -> None:
+        super().__init__(store.env)
+
+
+class Store:
+    """FIFO buffer of arbitrary items with optional capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._putters: List[StorePut] = []
+        self._getters: List[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Insert *item*; blocks (the event) while the store is full."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove and return the oldest item; blocks while empty."""
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            if self._getters and self.items:
+                get = self._getters.pop(0)
+                get.succeed(self.items.pop(0))
+                progressed = True
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ContainerPut(Event):
+    """Event for :meth:`Container.put`."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be > 0")
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class ContainerGet(Event):
+    """Event for :meth:`Container.get`."""
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be > 0")
+        super().__init__(container.env)
+        self.amount = amount
+
+
+class Container:
+    """A continuous quantity between 0 and ``capacity``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._putters: List[ContainerPut] = []
+        self._getters: List[ContainerGet] = []
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> ContainerPut:
+        """Add *amount*; blocks while it would exceed capacity."""
+        event = ContainerPut(self, amount)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> ContainerGet:
+        """Take *amount*; blocks while the level is insufficient."""
+        event = ContainerGet(self, amount)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if (
+                self._putters
+                and self._level + self._putters[0].amount <= self.capacity
+            ):
+                put = self._putters.pop(0)
+                self._level += put.amount
+                put.succeed()
+                progressed = True
+            if self._getters and self._getters[0].amount <= self._level:
+                get = self._getters.pop(0)
+                self._level -= get.amount
+                get.succeed(get.amount)
+                progressed = True

@@ -1,0 +1,163 @@
+"""Unit tests for Histogram2D."""
+
+import numpy as np
+import pytest
+
+from repro.aida.axis import OVERFLOW, UNDERFLOW
+from repro.aida.hist2d import Histogram2D
+
+
+def make():
+    return Histogram2D(
+        "h2",
+        "test 2d",
+        x_bins=10,
+        x_lower=0.0,
+        x_upper=10.0,
+        y_bins=5,
+        y_lower=-1.0,
+        y_upper=1.0,
+    )
+
+
+def test_name_required():
+    with pytest.raises(ValueError):
+        Histogram2D("", x_bins=2, x_lower=0, x_upper=1, y_bins=2, y_lower=0, y_upper=1)
+
+
+def test_fill_and_accessors():
+    hist = make()
+    hist.fill(2.5, 0.1)
+    hist.fill(2.6, 0.15, weight=2.0)
+    assert hist.bin_entries(2, 2) == 2
+    assert hist.bin_height(2, 2) == pytest.approx(3.0)
+    assert hist.bin_error(2, 2) == pytest.approx(np.sqrt(5.0))
+    assert hist.entries == 2
+
+
+def test_out_of_range_slots():
+    hist = make()
+    hist.fill(-1.0, 0.0)   # x underflow
+    hist.fill(5.0, 10.0)   # y overflow
+    hist.fill(100.0, -5.0) # both out
+    assert hist.entries == 0
+    assert hist.all_entries == 3
+    assert hist.bin_entries(UNDERFLOW, 2) == 1
+    assert hist.bin_entries(5, OVERFLOW) == 1
+    assert hist.bin_entries(OVERFLOW, UNDERFLOW) == 1
+
+
+def test_means_and_rms():
+    hist = make()
+    hist.fill(2.0, 0.5)
+    hist.fill(4.0, -0.5)
+    assert hist.mean_x == pytest.approx(3.0)
+    assert hist.mean_y == pytest.approx(0.0)
+    assert hist.rms_x == pytest.approx(1.0)
+    assert hist.rms_y == pytest.approx(0.5)
+
+
+def test_empty_stats_nan():
+    hist = make()
+    assert np.isnan(hist.mean_x)
+    assert np.isnan(hist.rms_y)
+
+
+def test_fill_array_equivalent_to_scalar():
+    rng = np.random.default_rng(3)
+    xs = rng.uniform(-2, 12, 500)
+    ys = rng.uniform(-2, 2, 500)
+    ws = rng.uniform(0.1, 3.0, 500)
+    vec = make()
+    scalar = make()
+    vec.fill_array(xs, ys, ws)
+    for x, y, w in zip(xs, ys, ws):
+        scalar.fill(x, y, w)
+    assert np.array_equal(vec._counts, scalar._counts)
+    assert np.allclose(vec._sumw, scalar._sumw)
+    assert vec.mean_x == pytest.approx(scalar.mean_x)
+    assert vec.rms_y == pytest.approx(scalar.rms_y)
+
+
+def test_fill_array_validation():
+    hist = make()
+    with pytest.raises(ValueError):
+        hist.fill_array([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        hist.fill_array([1.0, 2.0], [1.0, 2.0], weights=[1.0])
+
+
+def test_projection_x_preserves_totals():
+    hist = make()
+    rng = np.random.default_rng(5)
+    hist.fill_array(rng.uniform(0, 10, 300), rng.uniform(-1, 1, 300))
+    proj = hist.projection_x()
+    assert proj.entries == hist.entries
+    assert proj.sum_bin_heights == pytest.approx(hist.sum_bin_heights)
+    assert proj.axis == hist.x_axis
+    assert proj.mean == pytest.approx(hist.mean_x)
+
+
+def test_projection_y_preserves_totals():
+    hist = make()
+    rng = np.random.default_rng(6)
+    hist.fill_array(rng.uniform(0, 10, 300), rng.uniform(-1, 1, 300))
+    proj = hist.projection_y()
+    assert proj.entries == hist.entries
+    assert proj.mean == pytest.approx(hist.mean_y)
+
+
+def test_merge_equals_combined_fill():
+    rng = np.random.default_rng(9)
+    a = make()
+    b = make()
+    combined = make()
+    xa, ya = rng.uniform(0, 10, 200), rng.uniform(-1, 1, 200)
+    xb, yb = rng.uniform(0, 10, 100), rng.uniform(-1, 1, 100)
+    a.fill_array(xa, ya)
+    b.fill_array(xb, yb)
+    combined.fill_array(np.concatenate([xa, xb]), np.concatenate([ya, yb]))
+    merged = a + b
+    assert np.array_equal(merged._counts, combined._counts)
+    assert merged.mean_x == pytest.approx(combined.mean_x)
+    assert merged.rms_y == pytest.approx(combined.rms_y)
+
+
+def test_merge_incompatible_rejected():
+    a = make()
+    b = Histogram2D(
+        "other", x_bins=3, x_lower=0, x_upper=1, y_bins=3, y_lower=0, y_upper=1
+    )
+    with pytest.raises(ValueError):
+        a + b
+    with pytest.raises(TypeError):
+        a += "x"
+
+
+def test_copy_and_reset():
+    hist = make()
+    hist.fill(5, 0)
+    clone = hist.copy()
+    hist.reset()
+    assert hist.entries == 0
+    assert clone.entries == 1
+
+
+def test_heights_shape():
+    hist = make()
+    assert hist.heights().shape == (10, 5)
+
+
+def test_serialization_roundtrip():
+    hist = make()
+    rng = np.random.default_rng(11)
+    hist.fill_array(rng.uniform(-1, 11, 100), rng.uniform(-2, 2, 100))
+    restored = Histogram2D.from_dict(hist.to_dict())
+    assert np.array_equal(restored._counts, hist._counts)
+    assert np.allclose(restored._sumw, hist._sumw)
+    assert restored.mean_x == pytest.approx(hist.mean_x)
+    assert restored.name == hist.name
+
+
+def test_repr():
+    assert "10x5" in repr(make())

@@ -1,0 +1,136 @@
+"""Unit tests for histogram arithmetic (subtract/divide/efficiency/rebin)."""
+
+import numpy as np
+import pytest
+
+from repro.aida.hist1d import Histogram1D
+from repro.aida.ops import (
+    HistogramOpsError,
+    divide,
+    efficiency,
+    normalize,
+    rebin,
+    subtract,
+)
+
+
+def make(heights, errors=None, name="h"):
+    hist = Histogram1D(name, bins=len(heights), lower=0.0, upper=float(len(heights)))
+    for index, height in enumerate(heights):
+        if height:
+            hist.fill(index + 0.5, weight=height)
+    if errors is not None:
+        hist._sumw2[1:-1] = np.asarray(errors, dtype=float) ** 2
+    return hist
+
+
+def test_subtract_heights_and_errors():
+    a = make([10.0, 5.0], errors=[3.0, 4.0])
+    b = make([4.0, 1.0], errors=[4.0, 3.0])
+    diff = subtract(a, b)
+    assert np.allclose(diff.heights(), [6.0, 4.0])
+    assert diff.bin_error(0) == pytest.approx(5.0)  # sqrt(9+16)
+    assert diff.bin_error(1) == pytest.approx(5.0)
+
+
+def test_subtract_incompatible():
+    a = make([1.0])
+    b = Histogram1D("b", bins=2, lower=0, upper=2)
+    with pytest.raises(HistogramOpsError):
+        subtract(a, b)
+
+
+def test_divide_basic():
+    a = make([8.0, 0.0, 3.0])
+    b = make([4.0, 2.0, 0.0])
+    ratio = divide(a, b)
+    assert np.allclose(ratio.heights(), [2.0, 0.0, 0.0])
+
+
+def test_divide_error_propagation():
+    a = make([100.0], errors=[10.0])   # 10% relative
+    b = make([50.0], errors=[5.0])     # 10% relative
+    ratio = divide(a, b)
+    assert ratio.bin_height(0) == pytest.approx(2.0)
+    assert ratio.bin_error(0) == pytest.approx(2.0 * np.sqrt(0.02))
+
+
+def test_efficiency_basic():
+    total = Histogram1D("t", bins=2, lower=0, upper=2)
+    passed = Histogram1D("p", bins=2, lower=0, upper=2)
+    for _ in range(100):
+        total.fill(0.5)
+    for _ in range(25):
+        passed.fill(0.5)
+    eff = efficiency(passed, total)
+    assert eff.bin_height(0) == pytest.approx(0.25)
+    assert eff.bin_error(0) == pytest.approx(np.sqrt(0.25 * 0.75 / 100))
+    assert eff.bin_height(1) == 0.0
+    assert eff.bin_error(1) == 0.0
+
+
+def test_efficiency_requires_subset():
+    total = make([5.0])
+    passed = make([6.0])
+    with pytest.raises(HistogramOpsError, match="subset"):
+        efficiency(passed, total)
+
+
+def test_rebin_conserves_totals():
+    hist = Histogram1D("h", bins=12, lower=0, upper=12)
+    rng = np.random.default_rng(0)
+    hist.fill_array(rng.uniform(-1, 13, 500))
+    merged = rebin(hist, 3)
+    assert merged.axis.bins == 4
+    assert merged.all_entries == hist.all_entries
+    assert merged.sum_all_bin_heights == pytest.approx(hist.sum_all_bin_heights)
+    assert merged.mean == pytest.approx(hist.mean)
+    assert merged.bin_height(0) == pytest.approx(
+        sum(hist.bin_height(i) for i in range(3))
+    )
+    # Under/overflow carried across.
+    assert merged.underflow_height() == pytest.approx(hist.underflow_height())
+    assert merged.overflow_height() == pytest.approx(hist.overflow_height())
+
+
+def test_rebin_validation():
+    hist = Histogram1D("h", bins=10, lower=0, upper=1)
+    with pytest.raises(HistogramOpsError):
+        rebin(hist, 3)  # 10 % 3 != 0
+    with pytest.raises(HistogramOpsError):
+        rebin(hist, 0)
+    clone = rebin(hist, 1)
+    assert clone.axis.bins == 10
+
+
+def test_rebin_factor_equals_bins():
+    hist = make([1.0, 2.0, 3.0, 4.0])
+    merged = rebin(hist, 4)
+    assert merged.axis.bins == 1
+    assert merged.bin_height(0) == pytest.approx(10.0)
+
+
+def test_normalize():
+    hist = make([2.0, 6.0])
+    unit = normalize(hist)
+    assert unit.sum_bin_heights == pytest.approx(1.0)
+    assert unit.bin_height(1) == pytest.approx(0.75)
+    scaled = normalize(hist, to=100.0)
+    assert scaled.sum_bin_heights == pytest.approx(100.0)
+
+
+def test_normalize_empty_noop():
+    hist = Histogram1D("h", bins=2, lower=0, upper=1)
+    out = normalize(hist)
+    assert out.sum_bin_heights == 0.0
+
+
+def test_ops_results_are_regular_histograms():
+    """Outputs merge and serialize like any other histogram."""
+    a = make([4.0, 9.0])
+    b = make([2.0, 3.0])
+    ratio = divide(a, b)
+    restored = Histogram1D.from_dict(ratio.to_dict())
+    assert np.allclose(restored.heights(), ratio.heights())
+    doubled = ratio + ratio
+    assert np.allclose(doubled.heights(), 2 * np.asarray(ratio.heights()))

@@ -1,0 +1,76 @@
+"""Unit tests for 2-D histogram arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.aida.hist2d import Histogram2D
+from repro.aida.ops import HistogramOpsError
+from repro.aida.ops2d import divide2d, efficiency2d, normalize2d, subtract2d
+
+
+def make(fills, name="h"):
+    hist = Histogram2D(
+        name, x_bins=2, x_lower=0, x_upper=2, y_bins=2, y_lower=0, y_upper=2
+    )
+    for x, y, w in fills:
+        hist.fill(x, y, w)
+    return hist
+
+
+def test_subtract2d():
+    a = make([(0.5, 0.5, 10.0), (1.5, 1.5, 4.0)])
+    b = make([(0.5, 0.5, 3.0)])
+    diff = subtract2d(a, b)
+    assert diff.bin_height(0, 0) == pytest.approx(7.0)
+    assert diff.bin_height(1, 1) == pytest.approx(4.0)
+    assert diff.bin_error(0, 0) == pytest.approx(np.sqrt(100 + 9))
+
+
+def test_subtract2d_incompatible():
+    a = make([])
+    b = Histogram2D("b", x_bins=3, x_lower=0, x_upper=1, y_bins=2, y_lower=0, y_upper=2)
+    with pytest.raises(HistogramOpsError):
+        subtract2d(a, b)
+
+
+def test_divide2d():
+    a = make([(0.5, 0.5, 8.0)])
+    b = make([(0.5, 0.5, 4.0), (1.5, 1.5, 2.0)])
+    ratio = divide2d(a, b)
+    assert ratio.bin_height(0, 0) == pytest.approx(2.0)
+    assert ratio.bin_height(1, 1) == 0.0  # empty numerator
+    assert ratio.bin_height(0, 1) == 0.0  # empty denominator
+
+
+def test_efficiency2d():
+    total = make([])
+    passed = make([])
+    for _ in range(100):
+        total.fill(0.5, 0.5)
+    for _ in range(40):
+        passed.fill(0.5, 0.5)
+    eff = efficiency2d(passed, total)
+    assert eff.bin_height(0, 0) == pytest.approx(0.4)
+    assert eff.bin_error(0, 0) == pytest.approx(np.sqrt(0.4 * 0.6 / 100))
+    with pytest.raises(HistogramOpsError):
+        efficiency2d(total, passed)  # superset as passed
+
+
+def test_normalize2d():
+    hist = make([(0.5, 0.5, 2.0), (1.5, 0.5, 6.0)])
+    unit = normalize2d(hist)
+    assert unit.sum_bin_heights == pytest.approx(1.0)
+    assert unit.bin_height(1, 0) == pytest.approx(0.75)
+    assert unit.mean_x == pytest.approx(hist.mean_x)  # moments preserved
+    empty = Histogram2D(
+        "e", x_bins=1, x_lower=0, x_upper=1, y_bins=1, y_lower=0, y_upper=1
+    )
+    assert normalize2d(empty).sum_bin_heights == 0.0
+
+
+def test_ops2d_results_mergeable():
+    a = make([(0.5, 0.5, 4.0)])
+    b = make([(0.5, 0.5, 2.0)])
+    ratio = divide2d(a, b)
+    doubled = ratio + ratio
+    assert doubled.bin_height(0, 0) == pytest.approx(4.0)

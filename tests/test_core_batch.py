@@ -1,0 +1,74 @@
+"""Tests for production batch mode."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import counting, higgs
+from repro.core.batch import run_batch
+from repro.core.site import GridSite, SiteConfig
+from repro.engine.runner import run_local
+from repro.engine.sandbox import CodeBundle
+from repro.services.content import ContentStore
+
+
+def build_site(n_workers=4):
+    site = GridSite(SiteConfig(n_workers=n_workers))
+    site.register_dataset(
+        "prod", "/prod/ds", size_mb=40.0, n_events=2000,
+        content={"kind": "ilc", "seed": 77},
+    )
+    return site
+
+
+def test_batch_run_produces_final_tree():
+    site = build_site()
+    user = site.enroll_user("/CN=operator")
+    result = run_batch(site, user, "prod", higgs.SOURCE)
+    assert result.events_processed == 2000
+    assert result.n_engines == 4
+    assert result.wall_seconds > 0
+    # Identical physics to a local run over the same content.
+    reference = run_local(
+        CodeBundle(higgs.SOURCE),
+        ContentStore().events_for({"kind": "ilc", "seed": 77}, 0, 2000),
+    )
+    a = result.tree.get("/higgs/dijet_mass")
+    b = reference.get("/higgs/dijet_mass")
+    assert np.allclose(a.heights(), b.heights())
+
+
+def test_batch_runs_on_batch_queue():
+    site = build_site()
+    user = site.enroll_user("/CN=operator")
+    run_batch(site, user, "prod", counting.SOURCE)
+    queues = {job.queue for job in site.scheduler._jobs.values()}
+    assert queues == {"batch"}
+    # The policy's interactive queue is restored afterwards.
+    assert site.policy.interactive_queue == "interactive"
+
+
+def test_batch_policy_restored_on_failure():
+    site = build_site()
+    user = site.enroll_user("/CN=operator")
+    with pytest.raises(Exception):
+        run_batch(site, user, "no-such-dataset", counting.SOURCE)
+    assert site.policy.interactive_queue == "interactive"
+
+
+def test_batch_with_parameters_and_engine_count():
+    from repro.analysis import cuts
+
+    site = build_site(n_workers=4)
+    user = site.enroll_user("/CN=operator")
+    result = run_batch(
+        site,
+        user,
+        "prod",
+        cuts.SOURCE,
+        parameters={"min_energy": 480.0},
+        n_engines=2,
+    )
+    assert result.n_engines == 2
+    decision = result.tree.get("/cuts/decision")
+    assert decision.entries == 2000
+    assert decision.bin_height(1) < 2000  # the cut removed something

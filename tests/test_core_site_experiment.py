@@ -1,0 +1,163 @@
+"""Unit tests for site assembly, calibration config, and experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import Calibration, DEFAULT_CALIBRATION
+from repro.core.experiment import (
+    EVENTS_PER_MB,
+    run_grid_experiment,
+    run_local_experiment,
+)
+from repro.core.site import GridSite, SiteConfig
+
+
+# ---------------------------------------------------------------------------
+# Calibration
+# ---------------------------------------------------------------------------
+
+def test_calibration_validation():
+    with pytest.raises(ValueError):
+        Calibration(wan_bandwidth_mbps=0)
+    with pytest.raises(ValueError):
+        Calibration(split_rate_s_per_mb=-1)
+    with pytest.raises(ValueError):
+        Calibration(chunk_events=0)
+
+
+def test_default_calibration_paper_provenance():
+    cal = DEFAULT_CALIBRATION
+    # WAN: 471 MB in ~32 min.
+    assert 471 / cal.wan_bandwidth_mbps == pytest.approx(1920, rel=0.01)
+    # LAN fetch: 471 MB in ~63 s.
+    assert 471 / cal.lan_fetch_bandwidth_mbps == pytest.approx(63, rel=0.01)
+    # Split: 0.25 s/MB.
+    assert cal.split_rate_s_per_mb == 0.25
+    # Local analysis: 471 MB in ~13 min.
+    assert 471 * cal.local_analysis_rate_s_per_mb == pytest.approx(780, rel=0.01)
+
+
+# ---------------------------------------------------------------------------
+# SiteConfig / GridSite
+# ---------------------------------------------------------------------------
+
+def test_site_config_validation():
+    with pytest.raises(ValueError):
+        SiteConfig(n_workers=0)
+
+
+def test_site_builds_complete_topology():
+    site = GridSite(SiteConfig(n_workers=3))
+    hosts = set(site.network.hosts)
+    assert {"desktop", "repository", "manager", "se", "w0", "w1", "w2"} <= hosts
+    assert len(site.workers) == 3
+    assert site.scheduler.queues.keys() == {"interactive", "batch"}
+    assert site.policy.max_engines_per_session == 3
+    assert set(site.container.services) >= {
+        "catalog", "locator", "control", "session", "aida",
+    }
+
+
+def test_site_policy_override():
+    site = GridSite(SiteConfig(n_workers=8, max_engines_per_session=2))
+    assert site.policy.max_engines_per_session == 2
+
+
+def test_enroll_user_joins_vo():
+    site = GridSite(SiteConfig(n_workers=1))
+    credential = site.enroll_user("/CN=new-user", role="admin")
+    assert site.vo.is_member("/CN=new-user")
+    assert site.vo.role("/CN=new-user") == "admin"
+    assert credential.subject == "/CN=new-user"
+
+
+def test_register_dataset_wires_catalog_and_locator():
+    site = GridSite(SiteConfig(n_workers=1))
+    entry = site.register_dataset(
+        "d1", "/a/d1", size_mb=10, n_events=100, metadata={"k": "v"}
+    )
+    assert site.catalog.entry("d1") is entry
+    location = site.locator.locate("d1")
+    assert location.size_mb == 10
+    assert location.origin_host == "repository"
+
+
+def test_register_dataset_resident_on_se():
+    site = GridSite(SiteConfig(n_workers=1))
+    site.register_dataset(
+        "d2", "/a/d2", size_mb=10, n_events=100, origin_host=None
+    )
+    assert site.locator.locate("d2").origin_host is None
+
+
+def test_standard_datasets():
+    site = GridSite(SiteConfig(n_workers=1))
+    site.register_standard_datasets()
+    assert len(site.catalog) == 3
+    paper = site.catalog.entry("ilc-zh-500gev")
+    assert paper.size_mb == 471.0
+    assert paper.n_events == 40_000
+    hits = site.catalog.search('domain == "finance"')
+    assert len(hits) == 1
+
+
+# ---------------------------------------------------------------------------
+# Experiment drivers
+# ---------------------------------------------------------------------------
+
+def test_events_per_mb_matches_reference_dataset():
+    assert EVENTS_PER_MB == pytest.approx(40_000 / 471.0)
+
+
+def test_local_experiment_breakdown():
+    local = run_local_experiment(100.0)
+    assert local.download == pytest.approx(100 / 0.2453, rel=0.01)
+    assert local.analysis == pytest.approx(100 * 1.656, rel=0.01)
+    assert local.total == local.download + local.analysis
+    assert local.tree is None
+
+
+def test_local_experiment_with_results():
+    local = run_local_experiment(5.0, events_per_mb=40, compute_results=True)
+    assert local.tree is not None
+    assert local.tree.get("/higgs/dijet_mass").all_entries > 0
+
+
+def test_grid_experiment_breakdown_properties():
+    grid = run_grid_experiment(50.0, 4, events_per_mb=10)
+    assert grid.size_mb == 50.0
+    assert grid.n_nodes == 4
+    assert grid.stage_dataset == pytest.approx(
+        grid.move_whole + grid.split + grid.move_parts
+    )
+    assert grid.total == pytest.approx(
+        grid.stage_dataset + grid.stage_code + grid.analysis
+    )
+    assert grid.total_with_setup > grid.total
+    assert grid.tree is not None
+    assert grid.tree.get("/higgs/dijet_mass").all_entries > 0
+
+
+def test_grid_and_local_same_content_same_results():
+    """The grid pipeline and the local baseline agree on the physics."""
+    grid = run_grid_experiment(5.0, 2, events_per_mb=40, content_seed=321)
+    local = run_local_experiment(
+        5.0, events_per_mb=40, content_seed=321, compute_results=True
+    )
+    a = grid.tree.get("/higgs/dijet_mass")
+    b = local.tree.get("/higgs/dijet_mass")
+    assert a.entries == b.entries
+    assert np.allclose(a.heights(), b.heights())
+
+
+def test_grid_experiment_custom_calibration():
+    fast_wan = Calibration(wan_bandwidth_mbps=100.0)
+    local = run_local_experiment(100.0, calibration=fast_wan)
+    assert local.download < 10.0
+
+
+def test_grid_experiment_split_strategy_passthrough():
+    grid = run_grid_experiment(
+        20.0, 2, events_per_mb=10, split_strategy="by-bytes", collect_tree=False
+    )
+    assert grid.analysis > 0

@@ -1,0 +1,232 @@
+"""Unit tests for the event model and the synthetic ILC generator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.events import PROCESS_CODES, Event, EventBatch
+from repro.dataset.generator import GeneratorConfig, ILCEventGenerator
+from repro.dataset.physics import MASS_Z, invariant_mass, pair_mass
+
+
+def simple_batch():
+    return EventBatch.from_events(
+        [
+            (0, PROCESS_CODES["zh"], 1.0, [(81, 100.0, 50.0, 0.0, 0.0), (81, 90.0, -50.0, 0.0, 0.0)]),
+            (1, PROCESS_CODES["qq"], 0.5, [(81, 200.0, 0.0, 100.0, 0.0)]),
+            (2, PROCESS_CODES["ww"], 1.0, []),
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# EventBatch
+# ---------------------------------------------------------------------------
+
+def test_batch_lengths():
+    batch = simple_batch()
+    assert len(batch) == 3
+    assert batch.n_particles == 3
+    assert batch.nbytes > 0
+
+
+def test_batch_event_view():
+    batch = simple_batch()
+    event = batch.event(0)
+    assert isinstance(event, Event)
+    assert event.n_particles == 2
+    assert event.process_name == "zh"
+    assert event.total_energy() == pytest.approx(190.0)
+    assert event.weight == 1.0
+
+
+def test_batch_event_empty_particles():
+    event = simple_batch().event(2)
+    assert event.n_particles == 0
+    assert event.total_energy() == 0.0
+
+
+def test_batch_event_out_of_range():
+    with pytest.raises(IndexError):
+        simple_batch().event(3)
+
+
+def test_event_jets_filter():
+    batch = EventBatch.from_events(
+        [(0, 0, 1.0, [(81, 10.0, 0, 0, 0), (13, 5.0, 0, 0, 0)])]
+    )
+    e, px, py, pz = batch.event(0).jets()
+    assert len(e) == 1
+    assert e[0] == 10.0
+
+
+def test_batch_iteration():
+    ids = [event.event_id for event in simple_batch()]
+    assert ids == [0, 1, 2]
+
+
+def test_batch_slice_rebases_offsets():
+    batch = simple_batch()
+    sub = batch.slice(1, 3)
+    assert len(sub) == 2
+    assert sub.offsets[0] == 0
+    assert sub.event(0).n_particles == 1
+    assert sub.event(0).event_id == 1
+
+
+def test_batch_slice_validation():
+    with pytest.raises(IndexError):
+        simple_batch().slice(2, 1)
+    with pytest.raises(IndexError):
+        simple_batch().slice(0, 4)
+
+
+def test_batch_concatenate_roundtrip():
+    batch = simple_batch()
+    rejoined = EventBatch.concatenate([batch.slice(0, 1), batch.slice(1, 3)])
+    assert len(rejoined) == 3
+    assert np.array_equal(rejoined.event_ids, batch.event_ids)
+    assert np.array_equal(rejoined.e, batch.e)
+    assert np.array_equal(rejoined.offsets, batch.offsets)
+
+
+def test_batch_concatenate_empty():
+    assert len(EventBatch.concatenate([])) == 0
+    assert len(EventBatch.concatenate([EventBatch.empty()])) == 0
+
+
+def test_batch_validation_errors():
+    with pytest.raises(ValueError):
+        EventBatch(
+            np.zeros(2), np.zeros(1), np.zeros(2), np.zeros(3),
+            np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0),
+        )
+    with pytest.raises(ValueError):
+        EventBatch(
+            np.zeros(1), np.zeros(1), np.zeros(1), np.array([0, 5]),
+            np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3), np.zeros(3),
+        )
+
+
+# ---------------------------------------------------------------------------
+# GeneratorConfig
+# ---------------------------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(sqrt_s=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(sqrt_s=200.0)  # ZH closed at 200 with mH=120
+    with pytest.raises(ValueError):
+        GeneratorConfig(fractions=(("zh", 0.5), ("zh", 0.5)))
+    with pytest.raises(ValueError):
+        GeneratorConfig(fractions=(("zh", 0.7), ("qq", 0.2)))
+    with pytest.raises(ValueError):
+        GeneratorConfig(fractions=(("mystery", 1.0),))
+    with pytest.raises(ValueError):
+        GeneratorConfig(fractions=(("zh", -0.5), ("qq", 1.5)))
+
+
+# ---------------------------------------------------------------------------
+# ILCEventGenerator
+# ---------------------------------------------------------------------------
+
+def test_generator_deterministic_with_seed():
+    a = ILCEventGenerator(seed=123).generate(200)
+    b = ILCEventGenerator(seed=123).generate(200)
+    assert np.array_equal(a.e, b.e)
+    assert np.array_equal(a.process, b.process)
+
+
+def test_generator_different_seeds_differ():
+    a = ILCEventGenerator(seed=1).generate(100)
+    b = ILCEventGenerator(seed=2).generate(100)
+    assert not np.array_equal(a.e, b.e)
+
+
+def test_generator_event_ids_sequential_across_calls():
+    gen = ILCEventGenerator(seed=5)
+    first = gen.generate(10)
+    second = gen.generate(10)
+    assert list(first.event_ids) == list(range(10))
+    assert list(second.event_ids) == list(range(10, 20))
+
+
+def test_generator_zero_events():
+    assert len(ILCEventGenerator().generate(0)) == 0
+    with pytest.raises(ValueError):
+        ILCEventGenerator().generate(-1)
+
+
+def test_generator_process_mixture():
+    batch = ILCEventGenerator(seed=7).generate(4000)
+    fractions = {
+        name: np.mean(batch.process == code)
+        for name, code in PROCESS_CODES.items()
+    }
+    assert fractions["zh"] == pytest.approx(0.15, abs=0.03)
+    assert fractions["ww"] == pytest.approx(0.35, abs=0.03)
+    assert fractions["qq"] == pytest.approx(0.30, abs=0.03)
+
+
+def test_generator_particle_counts_by_process():
+    batch = ILCEventGenerator(seed=9).generate(500)
+    for event in batch:
+        if event.process_name == "qq":
+            assert event.n_particles == 2
+        else:
+            assert event.n_particles == 4
+
+
+def test_signal_events_contain_higgs_mass_peak():
+    """Pairing the two H jets of ZH events reconstructs ~120 GeV."""
+    config = GeneratorConfig(fractions=(("zh", 1.0),), smear_stochastic=0.0, smear_constant=0.0)
+    batch = ILCEventGenerator(config, seed=11).generate(300)
+    masses = []
+    for event in batch:
+        e, px, py, pz = event.jets()
+        # Jets 0,1 are the Higgs decay by construction, 2,3 the Z decay.
+        masses.append(
+            pair_mass(e[0], px[0], py[0], pz[0], e[1], px[1], py[1], pz[1])
+        )
+        z_mass = pair_mass(e[2], px[2], py[2], pz[2], e[3], px[3], py[3], pz[3])
+        assert z_mass == pytest.approx(MASS_Z, rel=1e-6)
+    assert np.allclose(masses, 120.0, rtol=1e-6)
+
+
+def test_smearing_broadens_peak():
+    sharp_config = GeneratorConfig(
+        fractions=(("zh", 1.0),), smear_stochastic=0.0, smear_constant=0.0
+    )
+    smeared_config = GeneratorConfig(fractions=(("zh", 1.0),))
+
+    def mass_spread(config, seed):
+        batch = ILCEventGenerator(config, seed=seed).generate(500)
+        masses = []
+        for event in batch:
+            e, px, py, pz = event.jets()
+            masses.append(
+                float(pair_mass(e[0], px[0], py[0], pz[0], e[1], px[1], py[1], pz[1]))
+            )
+        return np.std(masses)
+
+    assert mass_spread(smeared_config, 13) > 10 * mass_spread(sharp_config, 13)
+
+
+def test_energy_conservation_before_smearing():
+    config = GeneratorConfig(fractions=(("ww", 1.0),), smear_stochastic=0.0, smear_constant=0.0)
+    batch = ILCEventGenerator(config, seed=17).generate(100)
+    for event in batch:
+        assert event.total_energy() == pytest.approx(500.0, rel=1e-9)
+        assert abs(event.px.sum()) < 1e-6
+        assert abs(event.py.sum()) < 1e-6
+        assert abs(event.pz.sum()) < 1e-6
+
+
+def test_stream_batches():
+    gen = ILCEventGenerator(seed=19)
+    batches = list(gen.stream(250, batch_size=100))
+    assert [len(b) for b in batches] == [100, 100, 50]
+    ids = np.concatenate([b.event_ids for b in batches])
+    assert np.array_equal(ids, np.arange(250))
+    with pytest.raises(ValueError):
+        list(gen.stream(10, batch_size=0))

@@ -1,0 +1,215 @@
+"""Unit tests for the binary dataset format and split strategies."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.events import EventBatch
+from repro.dataset.format import (
+    DatasetReader,
+    DatasetWriter,
+    FormatError,
+    write_dataset,
+)
+from repro.dataset.generator import ILCEventGenerator
+from repro.dataset.split import plan_split, write_split_parts
+
+
+@pytest.fixture
+def dataset_path(tmp_path):
+    gen = ILCEventGenerator(seed=42)
+    path = tmp_path / "events.ipad"
+    with DatasetWriter(path, meta={"name": "test-ds", "generator_seed": 42}) as writer:
+        for batch in gen.stream(1000, batch_size=250):
+            writer.write_batch(batch)
+    return path
+
+
+def test_writer_reader_roundtrip(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        assert reader.meta["name"] == "test-ds"
+        assert reader.n_events == 1000
+        assert reader.n_batches == 4
+        all_events = reader.read_all()
+        assert len(all_events) == 1000
+        assert np.array_equal(all_events.event_ids, np.arange(1000))
+
+
+def test_reader_matches_generated_content(dataset_path):
+    regenerated = EventBatch.concatenate(
+        list(ILCEventGenerator(seed=42).stream(1000, batch_size=250))
+    )
+    with DatasetReader(dataset_path) as reader:
+        stored = reader.read_all()
+    assert np.allclose(stored.e, regenerated.e)
+    assert np.array_equal(stored.process, regenerated.process)
+    assert np.array_equal(stored.offsets, regenerated.offsets)
+
+
+def test_writer_skips_empty_batches(tmp_path):
+    path = tmp_path / "empty.ipad"
+    with DatasetWriter(path) as writer:
+        writer.write_batch(EventBatch.empty())
+    with DatasetReader(path) as reader:
+        assert reader.n_events == 0
+        assert reader.n_batches == 0
+        assert len(reader.read_all()) == 0
+
+
+def test_writer_close_idempotent(tmp_path):
+    path = tmp_path / "x.ipad"
+    writer = DatasetWriter(path)
+    writer.close()
+    writer.close()
+    with pytest.raises(FormatError):
+        writer.write_batch(EventBatch.empty())
+
+
+def test_writer_events_written(dataset_path, tmp_path):
+    path = tmp_path / "y.ipad"
+    with DatasetWriter(path) as writer:
+        writer.write_batch(ILCEventGenerator(seed=1).generate(10))
+        assert writer.events_written == 10
+
+
+def test_reader_bad_magic(tmp_path):
+    path = tmp_path / "bad.ipad"
+    path.write_bytes(b"NOPE" + b"\x00" * 100)
+    with pytest.raises(FormatError, match="magic"):
+        DatasetReader(path)
+
+
+def test_reader_truncated_file(tmp_path, dataset_path):
+    blob = dataset_path.read_bytes()
+    truncated = tmp_path / "trunc.ipad"
+    truncated.write_bytes(blob[:-10])
+    with pytest.raises(FormatError):
+        DatasetReader(truncated)
+
+
+def test_read_batch_by_index(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        batch = reader.read_batch(1)
+        assert len(batch) == 250
+        assert batch.event_ids[0] == 250
+        with pytest.raises(IndexError):
+            reader.read_batch(4)
+
+
+def test_read_range_within_one_block(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        batch = reader.read_range(10, 20)
+        assert len(batch) == 10
+        assert list(batch.event_ids) == list(range(10, 20))
+
+
+def test_read_range_across_blocks(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        batch = reader.read_range(200, 600)
+        assert len(batch) == 400
+        assert list(batch.event_ids) == list(range(200, 600))
+
+
+def test_read_range_validation(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        with pytest.raises(IndexError):
+            reader.read_range(-1, 10)
+        with pytest.raises(IndexError):
+            reader.read_range(10, 2000)
+        assert len(reader.read_range(5, 5)) == 0
+
+
+def test_batch_ranges(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        assert reader.batch_ranges() == [
+            (0, 250), (250, 500), (500, 750), (750, 1000)
+        ]
+
+
+def test_size_properties(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        assert reader.size_bytes == dataset_path.stat().st_size
+        assert reader.size_mb == pytest.approx(reader.size_bytes / 1e6)
+        assert "events=1000" in repr(reader)
+
+
+def test_write_dataset_convenience(tmp_path):
+    batches = list(ILCEventGenerator(seed=3).stream(100, batch_size=50))
+    path = write_dataset(tmp_path / "conv.ipad", batches, meta={"name": "c"})
+    with DatasetReader(path) as reader:
+        assert reader.n_events == 100
+
+
+# ---------------------------------------------------------------------------
+# Split plans
+# ---------------------------------------------------------------------------
+
+def test_plan_split_by_events(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        plan = plan_split(reader, 4, "by-events")
+    assert plan.n_parts == 4
+    assert plan.total_events == 1000
+    assert [p.n_events for p in plan.parts] == [250, 250, 250, 250]
+    assert plan.skew() == pytest.approx(1.0, abs=0.01)
+
+
+def test_plan_split_uneven_counts(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        plan = plan_split(reader, 3, "by-events")
+    assert plan.total_events == 1000
+    assert max(p.n_events for p in plan.parts) - min(
+        p.n_events for p in plan.parts
+    ) <= 1
+
+
+def test_plan_split_by_bytes(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        plan = plan_split(reader, 4, "by-bytes")
+    assert plan.total_events == 1000
+    assert plan.skew() < 1.2  # roughly balanced
+    # Parts are contiguous and ordered.
+    for left, right in zip(plan.parts, plan.parts[1:]):
+        assert left.stop_event == right.start_event
+
+
+def test_plan_split_more_parts_than_events(tmp_path):
+    path = write_dataset(
+        tmp_path / "tiny.ipad", [ILCEventGenerator(seed=8).generate(2)]
+    )
+    with DatasetReader(path) as reader:
+        plan = plan_split(reader, 5, "by-events")
+    assert plan.n_parts == 5
+    assert plan.total_events == 2
+
+
+def test_plan_split_validation(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        with pytest.raises(ValueError):
+            plan_split(reader, 0)
+        with pytest.raises(ValueError):
+            plan_split(reader, 2, "by-magic")
+
+
+def test_write_split_parts_roundtrip(dataset_path, tmp_path):
+    with DatasetReader(dataset_path) as reader:
+        plan = plan_split(reader, 4, "by-events")
+        paths = write_split_parts(reader, plan, tmp_path / "parts")
+        original = reader.read_all()
+    assert len(paths) == 4
+    pieces = []
+    for index, path in enumerate(paths):
+        with DatasetReader(path) as part_reader:
+            assert part_reader.meta["part_index"] == index
+            assert part_reader.meta["part_of"] == 4
+            assert part_reader.meta["name"] == "test-ds"
+            pieces.append(part_reader.read_all())
+    rejoined = EventBatch.concatenate(pieces)
+    assert np.array_equal(rejoined.event_ids, original.event_ids)
+    assert np.allclose(rejoined.e, original.e)
+
+
+def test_split_parts_sizes_sum_to_total(dataset_path):
+    with DatasetReader(dataset_path) as reader:
+        plan = plan_split(reader, 7, "by-events")
+        assert sum(p.est_size_mb for p in plan.parts) == pytest.approx(
+            reader.size_mb, rel=0.01
+        )

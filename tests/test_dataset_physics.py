@@ -1,0 +1,155 @@
+"""Unit tests for vectorized kinematics."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import physics
+
+
+def test_invariant_mass_at_rest():
+    assert physics.invariant_mass(
+        np.array([10.0]), np.zeros(1), np.zeros(1), np.zeros(1)
+    )[0] == pytest.approx(10.0)
+
+
+def test_invariant_mass_massless():
+    e = np.array([50.0])
+    assert physics.invariant_mass(e, e, np.zeros(1), np.zeros(1))[0] == pytest.approx(0.0)
+
+
+def test_invariant_mass_clips_negative():
+    # Slightly spacelike due to rounding: must return 0, not NaN.
+    m = physics.invariant_mass(
+        np.array([1.0]), np.array([1.0 + 1e-9]), np.zeros(1), np.zeros(1)
+    )
+    assert m[0] == 0.0
+
+
+def test_pair_mass_back_to_back():
+    e = np.array([60.0])
+    p = np.array([45.0])
+    zero = np.zeros(1)
+    mass = physics.pair_mass(e, p, zero, zero, e, -p, zero, zero)
+    # M^2 = (2E)^2 - 0 = 4E^2 - each leg has m^2 = 60^2-45^2
+    assert mass[0] == pytest.approx(120.0)
+
+
+def test_momentum_and_pt():
+    px, py, pz = np.array([3.0]), np.array([4.0]), np.array([12.0])
+    assert physics.momentum(px, py, pz)[0] == pytest.approx(13.0)
+    assert physics.transverse_momentum(px, py)[0] == pytest.approx(5.0)
+
+
+def test_pseudorapidity_symmetry():
+    px, py = np.array([1.0, 1.0]), np.array([0.0, 0.0])
+    pz = np.array([2.0, -2.0])
+    eta = physics.pseudorapidity(px, py, pz)
+    assert eta[0] == pytest.approx(-eta[1])
+    assert physics.pseudorapidity(np.array([1.0]), np.zeros(1), np.zeros(1))[0] == pytest.approx(0.0)
+
+
+def test_azimuth_quadrants():
+    assert physics.azimuth(np.array([1.0]), np.array([0.0]))[0] == pytest.approx(0.0)
+    assert physics.azimuth(np.array([0.0]), np.array([1.0]))[0] == pytest.approx(np.pi / 2)
+
+
+def test_two_body_momentum_symmetric():
+    p = physics.two_body_momentum(100.0, 10.0, 10.0)
+    # p = sqrt(M^2/4 - m^2)
+    assert p == pytest.approx(np.sqrt(2500 - 100))
+
+
+def test_two_body_momentum_massless():
+    assert physics.two_body_momentum(500.0, 0.0, 0.0) == pytest.approx(250.0)
+
+
+def test_two_body_momentum_validation():
+    with pytest.raises(ValueError):
+        physics.two_body_momentum(0.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        physics.two_body_momentum(10.0, 6.0, 6.0)
+
+
+def test_isotropic_directions_unit_norm():
+    rng = np.random.default_rng(0)
+    ux, uy, uz = physics.isotropic_directions(1000, rng)
+    norms = ux**2 + uy**2 + uz**2
+    assert np.allclose(norms, 1.0)
+    # Roughly isotropic: mean close to 0 in each component.
+    assert abs(ux.mean()) < 0.1
+    assert abs(uz.mean()) < 0.1
+
+
+def test_boost_preserves_mass():
+    rng = np.random.default_rng(1)
+    e = np.array([10.0, 20.0])
+    px = np.array([3.0, -5.0])
+    py = np.array([1.0, 2.0])
+    pz = np.array([0.0, 4.0])
+    mass_before = physics.invariant_mass(e, px, py, pz)
+    b = np.array([0.5, -0.3])
+    zeros = np.zeros(2)
+    be, bpx, bpy, bpz = physics.boost(e, px, py, pz, b, zeros, zeros)
+    mass_after = physics.invariant_mass(be, bpx, bpy, bpz)
+    assert np.allclose(mass_before, mass_after)
+
+
+def test_boost_at_rest_gives_velocity():
+    e = np.array([1.0])
+    zeros = np.zeros(1)
+    be, bpx, _, _ = physics.boost(e, zeros, zeros, zeros, np.array([0.6]), zeros, zeros)
+    gamma = 1 / np.sqrt(1 - 0.36)
+    assert be[0] == pytest.approx(gamma)
+    assert bpx[0] / be[0] == pytest.approx(0.6)
+
+
+def test_boost_zero_velocity_identity():
+    e = np.array([5.0])
+    px = np.array([2.0])
+    zeros = np.zeros(1)
+    be, bpx, bpy, bpz = physics.boost(e, px, zeros, zeros, zeros, zeros, zeros)
+    assert be[0] == pytest.approx(5.0)
+    assert bpx[0] == pytest.approx(2.0)
+
+
+def test_boost_superluminal_rejected():
+    one = np.ones(1)
+    with pytest.raises(ValueError):
+        physics.boost(one, one, one, one, np.array([1.0]), np.zeros(1), np.zeros(1))
+
+
+def test_two_body_decay_conserves_four_momentum():
+    rng = np.random.default_rng(2)
+    n = 100
+    pe = np.full(n, 250.0)
+    ppx = np.full(n, 100.0)
+    ppy = np.zeros(n)
+    ppz = np.full(n, 50.0)
+    (e1, px1, py1, pz1), (e2, px2, py2, pz2) = physics.two_body_decay(
+        pe, ppx, ppy, ppz, 10.0, 5.0, rng
+    )
+    assert np.allclose(e1 + e2, pe)
+    assert np.allclose(px1 + px2, ppx)
+    assert np.allclose(py1 + py2, ppy, atol=1e-9)
+    assert np.allclose(pz1 + pz2, ppz)
+    # Daughters have the requested masses.
+    assert np.allclose(physics.invariant_mass(e1, px1, py1, pz1), 10.0)
+    assert np.allclose(physics.invariant_mass(e2, px2, py2, pz2), 5.0)
+
+
+def test_two_body_decay_below_threshold_rejected():
+    rng = np.random.default_rng(3)
+    e = np.array([10.0])
+    zeros = np.zeros(1)
+    with pytest.raises(ValueError):
+        physics.two_body_decay(e, zeros, zeros, zeros, 8.0, 8.0, rng)
+
+
+def test_smear_energies_positive_and_unbiased():
+    rng = np.random.default_rng(4)
+    e = np.full(20000, 100.0)
+    smeared = physics.smear_energies(e, rng)
+    assert np.all(smeared > 0)
+    sigma = 100 * np.sqrt(0.36 / 100 + 0.02**2)
+    assert smeared.mean() == pytest.approx(100.0, abs=3 * sigma / np.sqrt(20000))
+    assert smeared.std() == pytest.approx(sigma, rel=0.05)

@@ -1,0 +1,74 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 3
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_quickstart_output_contains_higgs_histogram():
+    result = run_example("quickstart.py")
+    assert "engines ready" in result.stdout
+    assert "dijet_mass" in result.stdout
+    assert "Higgs candidates:" in result.stdout
+
+
+def test_higgs_session_finds_the_higgs():
+    result = run_example("grid_higgs_session.py")
+    assert "fitted Higgs mass:" in result.stdout
+    # Extract the fitted mass and check it is near the 120 GeV truth.
+    line = next(
+        l for l in result.stdout.splitlines() if "fitted Higgs mass" in l
+    )
+    mass = float(line.split(":")[1].split("+/-")[0])
+    assert 115.0 < mass < 125.0
+
+
+def test_interactive_rerun_shows_decreasing_efficiency():
+    result = run_example("interactive_rerun.py")
+    rows = [
+        line
+        for line in result.stdout.splitlines()
+        if line.strip().startswith(("1 ", "2 ", "3 "))
+    ]
+    efficiencies = [float(row.split()[2]) for row in rows]
+    assert len(efficiencies) == 3
+    assert efficiencies[0] > efficiencies[1] > efficiencies[2]
+
+
+def test_scaling_study_prints_all_three_artifacts():
+    result = run_example("scaling_study.py")
+    assert "Table 1" in result.stdout
+    assert "Table 2" in result.stdout
+    assert "crossover" in result.stdout
+    assert "grid speedup" in result.stdout
+
+
+def test_trading_example_cross_domain():
+    result = run_example("trading_records.py")
+    assert "trading days" in result.stdout
+    assert "mean daily volume" in result.stdout

@@ -1,0 +1,213 @@
+"""Failure-injection and fault-propagation tests across the stack."""
+
+import pytest
+
+from repro.analysis import counting
+from repro.client.client import ClientError, IPAClient
+from repro.core.site import GridSite, SiteConfig
+from repro.engine.sandbox import load_analysis
+from repro.services.envelope import Fault
+
+
+CRASHING_SOURCE = '''
+class Crasher(Analysis):
+    name = "crasher"
+
+    def start(self, tree):
+        tree.put("/h", Histogram1D("h", bins=2, lower=0, upper=1))
+
+    def process_batch(self, batch, tree):
+        raise RuntimeError("user code exploded")
+'''
+
+NUMPY_INTERNALS_SOURCE = '''
+class UsesNumpyInternals(Analysis):
+    """ndarray.sum() lazily imports numpy._core._methods from our frame."""
+
+    name = "numpy-internals"
+
+    def start(self, tree):
+        tree.put("/h", Histogram1D("h", bins=2, lower=0, upper=2000))
+
+    def process_batch(self, batch, tree):
+        tree.get("/h").fill(float(batch.e.sum() * 0 + 1.0))
+        tree.get("/h").fill(float(np.dot(batch.e, batch.e) * 0 + 1.0))
+'''
+
+
+def build(n_workers=2):
+    site = GridSite(SiteConfig(n_workers=n_workers))
+    site.register_dataset(
+        "ds", "/t/ds", size_mb=20.0, n_events=1000,
+        content={"kind": "ilc", "seed": 1},
+    )
+    client = IPAClient(site, site.enroll_user("/CN=alice"))
+    return site, client
+
+
+def drive(site, generator):
+    return site.env.run(until=site.env.process(generator))
+
+
+def test_sandbox_allows_numpy_lazy_internal_imports():
+    """Regression: numpy's lazy self-imports must pass the sandbox.
+
+    In a fresh process, ``ndarray.sum()`` triggers
+    ``import numpy._core._methods`` with the *sandboxed* ``__import__``
+    in scope; blocking it crashed every engine silently.
+    """
+    import subprocess
+    import sys
+
+    code = (
+        "from repro.engine.sandbox import load_analysis\n"
+        "from repro.aida.tree import ObjectTree\n"
+        "from repro.dataset.generator import ILCEventGenerator\n"
+        f"analysis = load_analysis({NUMPY_INTERNALS_SOURCE!r})\n"
+        "tree = ObjectTree()\n"
+        "analysis.start(tree)\n"
+        "analysis.process_batch(ILCEventGenerator(seed=1).generate(10), tree)\n"
+        "assert tree.get('/h').entries == 2\n"
+        "print('ok')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert result.returncode == 0, result.stderr
+    assert "ok" in result.stdout
+
+
+def test_sandbox_still_blocks_dangerous_roots():
+    source = '''
+class Sneaky(Analysis):
+    def start(self, tree):
+        import numpy.linalg  # fine: numpy subtree
+        import os            # must be blocked
+'''
+    from repro.aida.tree import ObjectTree
+    from repro.engine.sandbox import SandboxError
+
+    analysis = load_analysis(source)
+    with pytest.raises(SandboxError, match="'os' not allowed"):
+        analysis.start(ObjectTree())
+
+
+def test_crashing_analysis_fails_fast_at_client():
+    """A dead engine must surface as an error, not an infinite poll loop."""
+    site, client = build()
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds")
+        yield from client.upload_code(CRASHING_SOURCE)
+        yield from client.run()
+        with pytest.raises(ClientError, match="user code exploded"):
+            yield from client.wait_for_completion(poll_interval=5.0)
+
+    drive(site, scenario())
+
+
+def test_status_reports_failed_jobs():
+    site, client = build()
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds")
+        yield from client.upload_code(CRASHING_SOURCE)
+        yield from client.run()
+        yield site.env.timeout(200.0)
+        summary = yield from client.status()
+        assert summary["job_states"].count("failed") == 2
+        assert "user code exploded" in summary["failures"][0]["error"]
+
+    drive(site, scenario())
+
+
+def test_healthy_run_reports_no_failures():
+    site, client = build()
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds")
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.run()
+        yield from client.wait_for_completion(poll_interval=5.0)
+        summary = yield from client.status()
+        assert summary["failures"] == []
+        assert set(summary["job_states"]) == {"running"}
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_injected_service_fault_reaches_client():
+    site, client = build()
+    site.container.inject_fault(
+        "session", "add_dataset", Fault("splitter offline")
+    )
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        with pytest.raises(Fault, match="splitter offline"):
+            yield from client.select_dataset("ds")
+        # Clearing the fault restores service.
+        site.container.clear_fault("session", "add_dataset")
+        staged = yield from client.select_dataset("ds")
+        assert staged.dataset_id == "ds"
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_unknown_dataset_fault():
+    site, client = build()
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        with pytest.raises(Exception, match="unknown dataset"):
+            yield from client.select_dataset("ghost-dataset")
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_expired_proxy_rejected_at_connect():
+    site, client = build()
+
+    def scenario():
+        client.obtain_proxy(lifetime=10.0)
+        yield site.env.timeout(20.0)
+        with pytest.raises(Exception, match="expired"):
+            yield from client.connect()
+
+    drive(site, scenario())
+
+
+def test_session_close_after_failure_cleans_up():
+    site, client = build()
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds")
+        yield from client.upload_code(CRASHING_SOURCE)
+        yield from client.run()
+        yield site.env.timeout(200.0)
+        yield from client.close()
+
+    drive(site, scenario())
+    assert site.scheduler.idle_worker_count == 2
+
+
+def test_run_before_staging_fails_fast():
+    """Pressing run with nothing staged kills the engines visibly."""
+    site, client = build()
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.run()  # no dataset, no code
+        yield site.env.timeout(30.0)
+        summary = yield from client.status()
+        assert summary["job_states"].count("failed") == 2
+        assert "no dataset" in summary["failures"][0]["error"]
+
+    drive(site, scenario())

@@ -1,0 +1,197 @@
+"""Unit tests for the toy GSI security substrate."""
+
+import pytest
+
+from repro.grid.security import (
+    AuthorizationService,
+    CertificateAuthority,
+    SecurityError,
+    SitePolicy,
+    VirtualOrganization,
+    build_chain,
+    mutual_authenticate,
+)
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("ipa-ca")
+
+
+@pytest.fixture
+def alice(ca):
+    return ca.issue_identity("/O=ILC/CN=alice", now=0.0)
+
+
+def test_issue_identity_fields(ca, alice):
+    cert = alice.certificate
+    assert cert.subject == "/O=ILC/CN=alice"
+    assert cert.issuer == "ipa-ca"
+    assert cert.proxy_depth == 0
+    assert cert.valid_at(100.0)
+
+
+def test_issue_identity_lifetime_validation(ca):
+    with pytest.raises(SecurityError):
+        ca.issue_identity("x", now=0.0, lifetime=0)
+
+
+def test_validate_identity_chain(ca, alice):
+    assert ca.validate_chain([alice.certificate], now=1.0) == "/O=ILC/CN=alice"
+
+
+def test_validate_empty_chain_rejected(ca):
+    with pytest.raises(SecurityError):
+        ca.validate_chain([], now=0.0)
+
+
+def test_expired_identity_rejected(ca):
+    short = ca.issue_identity("bob", now=0.0, lifetime=10.0)
+    assert ca.validate_chain([short.certificate], now=5.0) == "bob"
+    with pytest.raises(SecurityError, match="expired"):
+        ca.validate_chain([short.certificate], now=11.0)
+
+
+def test_revoked_identity_rejected(ca, alice):
+    ca.revoke(alice.subject)
+    with pytest.raises(SecurityError, match="revoked"):
+        ca.validate_chain([alice.certificate], now=1.0)
+
+
+def test_tampered_certificate_rejected(ca, alice):
+    import dataclasses
+
+    forged = dataclasses.replace(alice.certificate, subject="/O=ILC/CN=mallory")
+    with pytest.raises(SecurityError):
+        ca.validate_chain([forged], now=1.0)
+
+
+def test_proxy_issuance_and_validation(ca, alice):
+    proxy = alice.issue_proxy(now=0.0, lifetime=3600.0)
+    cert = proxy.certificate
+    assert cert.subject.endswith("/CN=proxy")
+    assert cert.proxy_depth == 1
+    assert cert.issuer == alice.subject
+    chain = build_chain(proxy, alice)
+    assert ca.validate_chain(chain, now=10.0) == "/O=ILC/CN=alice"
+
+
+def test_proxy_lifetime_bounded_by_parent(ca):
+    short_lived = ca.issue_identity("carol", now=0.0, lifetime=100.0)
+    proxy = short_lived.issue_proxy(now=50.0, lifetime=3600.0)
+    assert proxy.certificate.not_after == 100.0
+
+
+def test_proxy_from_expired_parent_rejected(ca):
+    short_lived = ca.issue_identity("dave", now=0.0, lifetime=10.0)
+    with pytest.raises(SecurityError, match="expired"):
+        short_lived.issue_proxy(now=20.0)
+
+
+def test_expired_proxy_rejected(ca, alice):
+    proxy = alice.issue_proxy(now=0.0, lifetime=60.0)
+    chain = build_chain(proxy, alice)
+    with pytest.raises(SecurityError, match="expired"):
+        ca.validate_chain(chain, now=61.0)
+
+
+def test_proxy_without_parent_cert_rejected(ca, alice):
+    proxy = alice.issue_proxy(now=0.0)
+    with pytest.raises(SecurityError, match="chain"):
+        ca.validate_chain([proxy.certificate], now=1.0)
+
+
+def test_proxy_wrong_parent_rejected(ca, alice):
+    mallory = ca.issue_identity("/O=ILC/CN=mallory", now=0.0)
+    proxy = alice.issue_proxy(now=0.0)
+    with pytest.raises(SecurityError):
+        ca.validate_chain([proxy.certificate, mallory.certificate], now=1.0)
+
+
+def test_second_level_proxy_with_registered_key(ca, alice):
+    proxy1 = alice.issue_proxy(now=0.0, lifetime=3600.0)
+    ca.register_delegation_key(proxy1.subject, proxy1._private_key)
+    proxy2 = proxy1.issue_proxy(now=0.0, lifetime=600.0)
+    chain = [proxy2.certificate, proxy1.certificate, alice.certificate]
+    assert ca.validate_chain(chain, now=1.0) == alice.subject
+
+
+def test_proxy_lifetime_validation(alice):
+    with pytest.raises(SecurityError):
+        alice.issue_proxy(now=0.0, lifetime=0)
+
+
+def test_vo_membership_roundtrip():
+    vo = VirtualOrganization("ilc")
+    vo.add_member("alice", role="admin")
+    assert vo.is_member("alice")
+    assert vo.role("alice") == "admin"
+    vo.remove_member("alice")
+    assert not vo.is_member("alice")
+    assert vo.role("alice") is None
+    vo.remove_member("alice")  # idempotent
+
+
+def test_site_policy_validation():
+    with pytest.raises(ValueError):
+        SitePolicy(max_engines_per_session=0)
+
+
+def test_authorization_allows_vo_member():
+    vo = VirtualOrganization("ilc")
+    vo.add_member("alice")
+    policy = SitePolicy(max_engines_per_session=16, allowed_vos=("ilc",))
+    authz = AuthorizationService([vo], policy)
+    assert authz.authorize("alice") is policy
+    assert authz.vo_of("alice") == "ilc"
+
+
+def test_authorization_rejects_non_member():
+    vo = VirtualOrganization("ilc")
+    policy = SitePolicy(allowed_vos=("ilc",))
+    authz = AuthorizationService([vo], policy)
+    with pytest.raises(SecurityError, match="not authorized"):
+        authz.authorize("mallory")
+    assert authz.vo_of("mallory") is None
+
+
+def test_authorization_rejects_member_of_disallowed_vo():
+    other = VirtualOrganization("cms")
+    other.add_member("alice")
+    policy = SitePolicy(allowed_vos=("ilc",))
+    authz = AuthorizationService([other], policy)
+    with pytest.raises(SecurityError):
+        authz.authorize("alice")
+
+
+def test_mutual_authentication_success(ca, alice):
+    service = ca.issue_identity("/O=SLAC/CN=ipa-service", now=0.0)
+    proxy = alice.issue_proxy(now=0.0, lifetime=100.0)
+    ctx = mutual_authenticate(
+        build_chain(proxy, alice), [service.certificate], ca, now=1.0
+    )
+    assert ctx.identity == alice.subject
+    assert ctx.proxy_subject == proxy.subject
+    assert ctx.expires_at == 100.0
+    assert ctx.valid_at(99.0)
+    assert not ctx.valid_at(101.0)
+    assert len(ctx.session_key) == 64
+
+
+def test_mutual_authentication_rejects_bad_service(ca, alice):
+    rogue_ca = CertificateAuthority("rogue")
+    rogue_service = rogue_ca.issue_identity("service", now=0.0)
+    proxy = alice.issue_proxy(now=0.0)
+    with pytest.raises(SecurityError):
+        mutual_authenticate(
+            build_chain(proxy, alice), [rogue_service.certificate], ca, now=1.0
+        )
+
+
+def test_mutual_authentication_rejects_expired_client(ca, alice):
+    service = ca.issue_identity("service", now=0.0)
+    proxy = alice.issue_proxy(now=0.0, lifetime=10.0)
+    with pytest.raises(SecurityError):
+        mutual_authenticate(
+            build_chain(proxy, alice), [service.certificate], ca, now=20.0
+        )

@@ -1,0 +1,255 @@
+"""Unit tests for the GridFTP-like transfer service."""
+
+import pytest
+
+from repro.grid.network import Network
+from repro.grid.nodes import NodeSpec, StorageElement, WorkerNode
+from repro.grid.transfer import GridFTPService, TransferError
+from repro.sim import Environment
+
+FAST_DISK = NodeSpec(disk_read_mbps=10_000, disk_write_mbps=10_000)
+
+
+def build_site(n_workers=4, lan_bw=7.6, se_disk=10.24):
+    env = Environment()
+    net = Network(env)
+    net.add_host("se")
+    se = StorageElement(
+        env, "se", NodeSpec(disk_read_mbps=se_disk, disk_write_mbps=se_disk)
+    )
+    workers = []
+    for i in range(n_workers):
+        name = f"w{i}"
+        net.add_host(name)
+        net.add_link(f"se-{name}", "se", name, bandwidth=lan_bw)
+        workers.append(WorkerNode(env, name, FAST_DISK))
+    return env, net, se, workers
+
+
+def test_parameter_validation():
+    env, net, se, workers = build_site()
+    with pytest.raises(ValueError):
+        GridFTPService(env, net, setup_overhead=-1)
+    with pytest.raises(ValueError):
+        GridFTPService(env, net, streams=0)
+    with pytest.raises(ValueError):
+        GridFTPService(env, net, stream_rate=0)
+
+
+def test_transfer_file_moves_and_registers():
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net, setup_overhead=0.0)
+    se_node = se
+    stats = env.run(
+        until=ftp.transfer_file(se_node, workers[0], "data", 76.0)
+    )
+    assert workers[0].has_file("data")
+    assert stats.size_mb == 76.0
+    # 76 MB: disk read at 10.24 + network at 7.6 + fast write at 10000
+    assert env.now == pytest.approx(76 / 10.24 + 76 / 7.6 + 76 / 10_000)
+
+
+def test_transfer_file_setup_overhead_charged():
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net, setup_overhead=2.0)
+    env.run(
+        until=ftp.transfer_file(
+            se, workers[0], "f", 7.6, read_disk=False, write_disk=False
+        )
+    )
+    assert env.now == pytest.approx(2.0 + 1.0)
+
+
+def test_transfer_negative_size_rejected():
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net)
+    with pytest.raises(ValueError):
+        ftp.transfer_file(se, workers[0], "f", -5)
+
+
+def test_transfer_log_records_completions():
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net, setup_overhead=0.0)
+    env.run(until=ftp.transfer_file(se, workers[0], "a", 1.0, read_disk=False))
+    env.run(until=ftp.transfer_file(se, workers[1], "b", 1.0, read_disk=False))
+    assert len(ftp.log) == 2
+
+
+def test_stream_cap_via_stream_rate_and_streams():
+    env, net, se, workers = build_site(lan_bw=100.0)
+    ftp = GridFTPService(env, net, setup_overhead=0.0, stream_rate=2.0, streams=1)
+    env.run(
+        until=ftp.transfer_file(
+            se, workers[0], "f", 20.0, read_disk=False, write_disk=False
+        )
+    )
+    t_one_stream = env.now
+    assert t_one_stream == pytest.approx(10.0)  # 2 MB/s cap
+
+    env2, net2, se2, workers2 = build_site(lan_bw=100.0)
+    ftp2 = GridFTPService(env2, net2, setup_overhead=0.0, stream_rate=2.0, streams=4)
+    env2.run(
+        until=ftp2.transfer_file(
+            se2, workers2[0], "f", 20.0, read_disk=False, write_disk=False
+        )
+    )
+    assert env2.now == pytest.approx(2.5)  # 8 MB/s with 4 streams
+
+
+def test_streams_override_per_transfer():
+    env, net, se, workers = build_site(lan_bw=100.0)
+    ftp = GridFTPService(env, net, setup_overhead=0.0, stream_rate=2.0, streams=1)
+    env.run(
+        until=ftp.transfer_file(
+            se, workers[0], "f", 20.0, streams=10, read_disk=False,
+            write_disk=False,
+        )
+    )
+    assert env.now == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        ftp.transfer_file(se, workers[0], "g", 1.0, streams=0)
+
+
+def test_scatter_requires_matching_lengths():
+    env, net, se, workers = build_site(n_workers=2)
+    ftp = GridFTPService(env, net)
+    with pytest.raises(TransferError):
+        ftp.scatter(se, workers, [("p0", 1.0)])
+
+
+def test_scatter_delivers_every_part():
+    env, net, se, workers = build_site(n_workers=4)
+    ftp = GridFTPService(env, net, setup_overhead=0.0)
+    parts = [(f"part-{i}", 10.0) for i in range(4)]
+    report = env.run(until=ftp.scatter(se, workers, parts))
+    assert report.total_mb == pytest.approx(40.0)
+    for worker, (name, _) in zip(workers, parts):
+        assert worker.has_file(name)
+
+
+def test_scatter_pipeline_shape():
+    """Scatter time ~ serial disk read + one part's network transfer.
+
+    This is the mechanism behind Table 2's 46 + 62/N "move parts" column.
+    """
+    X = 471.0
+    for n in (1, 2, 4, 8, 16):
+        env, net, se, workers = build_site(n_workers=n)
+        ftp = GridFTPService(env, net, setup_overhead=0.0)
+        part = X / n
+        report = env.run(
+            until=ftp.scatter(se, workers, [(f"p{i}", part) for i in range(n)])
+        )
+        # Serial disk read of all parts + last part's transfer and write.
+        expected = X / 10.24 + part / 7.6 + part / 10_000
+        assert report.duration == pytest.approx(expected, rel=1e-6), n
+
+
+def test_scatter_time_decreases_with_node_count():
+    durations = []
+    for n in (1, 4, 16):
+        env, net, se, workers = build_site(n_workers=n)
+        ftp = GridFTPService(env, net, setup_overhead=0.0)
+        report = env.run(
+            until=ftp.scatter(
+                se, workers, [(f"p{i}", 471.0 / n) for i in range(n)]
+            )
+        )
+        durations.append(report.duration)
+    assert durations[0] > durations[1] > durations[2]
+    # ...but nowhere near 1/N: the serial disk stage dominates.
+    assert durations[0] / durations[2] < 3.0
+
+
+def test_broadcast_sends_to_all_in_parallel():
+    env, net, se, workers = build_site(n_workers=8, lan_bw=100.0)
+    ftp = GridFTPService(env, net, setup_overhead=1.0)
+    stats = env.run(
+        until=ftp.broadcast(se, workers, "code.jar", 0.015)
+    )
+    assert len(stats) == 8
+    for worker in workers:
+        assert worker.has_file("code.jar")
+    # Parallel: total ~= setup + tiny transfer, far below 8x serial.
+    assert env.now < 2.0
+
+
+# ---------------------------------------------------------------------------
+# Retries / transient failures
+# ---------------------------------------------------------------------------
+
+def test_inject_failures_validation():
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net)
+    with pytest.raises(ValueError):
+        ftp.inject_failures(-1)
+
+
+def test_transfer_retries_after_transient_failure():
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net, setup_overhead=0.0)
+    ftp.inject_failures(1)
+    stats = env.run(
+        until=ftp.transfer_file(
+            se, workers[0], "f", 76.0, read_disk=False, write_disk=False
+        )
+    )
+    assert workers[0].has_file("f")
+    # Time: failed half-transfer (38 MB) + backoff + full transfer.
+    expected = 38 / 7.6 + 1.0 + 76 / 7.6
+    assert env.now == pytest.approx(expected)
+    assert stats.size_mb == 76.0
+
+
+def test_transfer_exhausts_retries():
+    from repro.grid.transfer import TransferError
+
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net, setup_overhead=0.0)
+    ftp.inject_failures(3)
+
+    def scenario():
+        with pytest.raises(TransferError, match="aborted"):
+            yield ftp.transfer_file(
+                se, workers[0], "f", 10.0, read_disk=False, retries=2
+            )
+
+    env.run(until=env.process(scenario()))
+    assert not workers[0].has_file("f")
+
+
+def test_transfer_zero_retries():
+    from repro.grid.transfer import TransferError
+
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net, setup_overhead=0.0)
+    ftp.inject_failures(1)
+
+    def scenario():
+        with pytest.raises(TransferError):
+            yield ftp.transfer_file(
+                se, workers[0], "f", 10.0, read_disk=False, retries=0
+            )
+
+    env.run(until=env.process(scenario()))
+    with pytest.raises(ValueError):
+        ftp.transfer_file(se, workers[0], "g", 1.0, retries=-1)
+
+
+def test_failures_consumed_in_order():
+    env, net, se, workers = build_site()
+    ftp = GridFTPService(env, net, setup_overhead=0.0)
+    ftp.inject_failures(1)
+    env.run(
+        until=ftp.transfer_file(
+            se, workers[0], "a", 7.6, read_disk=False, write_disk=False
+        )
+    )
+    start = env.now
+    env.run(
+        until=ftp.transfer_file(
+            se, workers[1], "b", 7.6, read_disk=False, write_disk=False
+        )
+    )
+    # Second transfer saw no failure: exactly one clean send.
+    assert env.now - start == pytest.approx(1.0)

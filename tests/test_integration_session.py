@@ -1,0 +1,386 @@
+"""Integration tests: the full client -> services -> grid -> results loop."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import counting, cuts, higgs
+from repro.client.client import ClientError, IPAClient
+from repro.client.display import dashboard
+from repro.core.site import GridSite, SiteConfig
+from repro.engine.sandbox import CodeBundle
+from repro.grid.scheduler import JobState
+from repro.services.content import ContentStore
+from repro.services.envelope import Fault
+from repro.engine.runner import run_local
+
+
+def build(n_workers=4, **site_kwargs):
+    site = GridSite(SiteConfig(n_workers=n_workers, **site_kwargs))
+    site.register_dataset(
+        "ds-small",
+        "/test/ds-small",
+        size_mb=20.0,
+        n_events=2_000,
+        metadata={"experiment": "ilc", "energy": 500},
+        content={"kind": "ilc", "seed": 42},
+    )
+    site.register_dataset(
+        "ds-long",
+        "/test/ds-long",
+        size_mb=400.0,
+        n_events=2_000,
+        metadata={"experiment": "ilc", "energy": 500},
+        content={"kind": "ilc", "seed": 42},
+    )
+    user = site.enroll_user("/O=ILC/CN=alice")
+    client = IPAClient(site, user)
+    return site, client
+
+
+def drive(site, generator):
+    return site.env.run(until=site.env.process(generator))
+
+
+def test_full_workflow_produces_correct_merged_results():
+    site, client = build(n_workers=4)
+    results = {}
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect()
+        assert info.n_engines == 4
+        yield from client.select_dataset("ds-small")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=2.0)
+        results["tree"] = final.tree
+        results["progress"] = final.progress
+        yield from client.close()
+
+    drive(site, scenario())
+    progress = results["progress"]
+    assert progress.complete
+    assert progress.events_processed == 2000
+    # The merged grid result equals a single local run over the same data.
+    content = ContentStore()
+    batch = content.events_for({"kind": "ilc", "seed": 42}, 0, 2000)
+    local_tree = run_local(CodeBundle(higgs.SOURCE), batch)
+    merged = results["tree"].get("/higgs/dijet_mass")
+    local = local_tree.get("/higgs/dijet_mass")
+    assert merged.entries == local.entries
+    assert np.allclose(merged.heights(), local.heights())
+    assert merged.mean == pytest.approx(local.mean)
+
+
+def test_session_creation_respects_policy_limit():
+    site, client = build(n_workers=4, max_engines_per_session=2)
+
+    def scenario():
+        client.obtain_proxy()
+        with pytest.raises(Exception, match="site policy"):
+            yield from client.connect(n_engines=4)
+        info = yield from client.connect(n_engines=2)
+        assert info.n_engines == 2
+
+    drive(site, scenario())
+
+
+def test_unauthorized_user_rejected():
+    site, _ = build()
+    outsider_cred = site.ca.issue_identity("/O=CMS/CN=bob", now=0.0)
+    client = IPAClient(site, outsider_cred)
+
+    def scenario():
+        client.obtain_proxy()
+        with pytest.raises(Exception, match="not authorized"):
+            yield from client.connect()
+
+    drive(site, scenario())
+
+
+def test_engines_occupy_workers_and_release_on_close():
+    site, client = build(n_workers=3)
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        assert site.scheduler.running_count == 3
+        assert site.scheduler.idle_worker_count == 0
+        yield from client.close()
+        assert site.registry.count("session-1") == 0
+
+    drive(site, scenario())
+    assert site.scheduler.idle_worker_count == 3
+    assert all(
+        job.state == JobState.COMPLETED
+        for job in site.scheduler._jobs.values()
+    )
+
+
+def test_catalog_browse_and_search_via_client():
+    site, client = build()
+
+    def scenario():
+        listing = yield from client.browse_catalog("/")
+        assert "test" in listing["directories"]
+        hits = yield from client.search_catalog('experiment == "ilc"')
+        assert [e.dataset_id for e in hits] == ["ds-long", "ds-small"]
+        hits = yield from client.search_catalog("size_mb < 100")
+        assert [e.dataset_id for e in hits] == ["ds-small"]
+
+    drive(site, scenario())
+
+
+def test_client_requires_session_before_operations():
+    site, client = build()
+    with pytest.raises(ClientError):
+        client._require_session()
+
+    def scenario():
+        with pytest.raises(ClientError):
+            yield from client.select_dataset("ds-small")
+
+    drive(site, scenario())
+
+
+def test_rmi_poll_rejected_without_valid_token():
+    site, client = build()
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        client.data_plugin.token = "forged"
+        with pytest.raises(Fault, match="token"):
+            yield from client.poll()
+
+    drive(site, scenario())
+
+
+def test_rmi_token_revoked_after_close():
+    site, client = build()
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect()
+        session_id, token = info.session_id, info.token
+        yield from client.close()
+        client.data_plugin.bind(session_id, token)
+        client.session = info  # simulate a stale client
+        with pytest.raises(Fault, match="token"):
+            yield from client.poll()
+
+    drive(site, scenario())
+
+
+def test_pause_resume_midrun():
+    site, client = build(n_workers=2)
+    checkpoints = {}
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-long")
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.run()
+        yield site.env.timeout(70.0)  # run for a while (past serial overhead)
+        yield from client.pause()
+        yield site.env.timeout(10.0)
+        status = yield from client.status()
+        cursors = [e["cursor"] for e in status["engines"]]
+        checkpoints["paused_at"] = cursors
+        assert all(c < 1000 for c in cursors)  # not finished
+        yield site.env.timeout(50.0)
+        status = yield from client.status()
+        assert [e["cursor"] for e in status["engines"]] == cursors  # frozen
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=2.0)
+        assert final.progress.events_processed == 2000
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_step_runs_exact_event_count():
+    site, client = build(n_workers=2)
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-small")
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.step(300)
+        yield site.env.timeout(120.0)
+        status = yield from client.status()
+        assert [e["cursor"] for e in status["engines"]] == [300, 300]
+        assert all(e["state"] == "paused" for e in status["engines"])
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_rewind_and_rerun_with_new_cut():
+    """The §3.6 interactive loop: run, tighten a cut, reload, rewind, rerun."""
+    site, client = build(n_workers=2)
+    results = {}
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-long")
+        yield from client.upload_code(
+            cuts.SOURCE, parameters={"min_energy": 0.0}
+        )
+        yield from client.run()
+        first = yield from client.wait_for_completion(poll_interval=2.0)
+        results["loose"] = first.tree.get("/cuts/energy_pass").entries
+
+        # Tighten the cut, reload the code, rewind and rerun.
+        yield from client.reload_code(parameters={"min_energy": 480.0})
+        yield from client.rewind()
+        yield from client.run()
+        second = yield from client.wait_for_completion(poll_interval=2.0)
+        results["tight"] = second.tree.get("/cuts/energy_pass").entries
+        results["run_id"] = second.progress.run_id
+        yield from client.close()
+
+    drive(site, scenario())
+    assert results["tight"] < results["loose"]
+    assert results["run_id"] == 1  # one rewind happened
+
+
+def test_stop_prevents_completion():
+    site, client = build(n_workers=2)
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-long")
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.run()
+        yield site.env.timeout(60.0)
+        yield from client.stop()
+        yield site.env.timeout(60.0)
+        status = yield from client.status()
+        assert all(e["state"] == "stopped" for e in status["engines"])
+        assert all(e["cursor"] < 1000 for e in status["engines"])
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_wait_for_completion_timeout():
+    site, client = build(n_workers=2)
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-small")
+        yield from client.upload_code(counting.SOURCE)
+        # Never started: completion can't happen.
+        with pytest.raises(ClientError, match="timed out"):
+            yield from client.wait_for_completion(poll_interval=5.0, timeout=60.0)
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_intermediate_results_stream_in():
+    """Partial merged results are visible long before the run finishes."""
+    site, client = build(n_workers=2)
+    observations = []
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-long")
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.run()
+        for _ in range(120):
+            yield site.env.timeout(5.0)
+            result = yield from client.poll()
+            observations.append(result.progress.events_processed)
+            if result.progress.complete:
+                break
+        yield from client.close()
+
+    drive(site, scenario())
+    assert observations[-1] == 2000
+    # Strictly increasing prefix: results streamed, not delivered at once.
+    partial = [obs for obs in observations if 0 < obs < 2000]
+    assert partial, "never saw a partial result"
+
+
+def test_dashboard_renders_merged_tree():
+    site, client = build(n_workers=2)
+    results = {}
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-small")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=2.0)
+        results["final"] = final
+        yield from client.close()
+
+    drive(site, scenario())
+    text = dashboard(results["final"].tree, results["final"].progress)
+    assert "events=2000/2000" in text
+    assert "/higgs/dijet_mass" in text
+    assert "100.0%" in text
+
+
+def test_two_sequential_sessions_on_one_site():
+    site, client = build(n_workers=2)
+
+    def scenario():
+        info1 = yield from client.obtain_proxy_and_connect()
+        yield from client.close()
+        info2 = yield from client.obtain_proxy_and_connect()
+        assert info2.session_id != info1.session_id
+        yield from client.close()
+
+    drive(site, scenario())
+
+
+def test_trading_dataset_cross_domain():
+    """The paper's 'other fields' claim: trading records through the same pipeline."""
+    from repro.analysis import trading
+
+    site = GridSite(SiteConfig(n_workers=2))
+    site.register_standard_datasets()
+    user = site.enroll_user("/O=ILC/CN=quant")
+    client = IPAClient(site, user)
+    results = {}
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        hits = yield from client.search_catalog('domain == "finance"')
+        assert len(hits) == 1
+        yield from client.select_dataset(hits[0].dataset_id)
+        yield from client.upload_code(trading.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=5.0)
+        results["tree"] = final.tree
+        yield from client.close()
+
+    drive(site, scenario())
+    assert results["tree"].get("/trading/daily_volume").entries == 5000
+
+
+def test_large_site_stress_64_workers():
+    """A 64-engine session completes and merges correctly."""
+    site = GridSite(SiteConfig(n_workers=64))
+    site.register_dataset(
+        "big", "/t/big", size_mb=640.0, n_events=6400,
+        content={"kind": "ilc", "seed": 9},
+    )
+    client = IPAClient(site, site.enroll_user("/CN=alice"))
+    results = {}
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect()
+        assert info.n_engines == 64
+        yield from client.select_dataset("big")
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=10.0)
+        results["progress"] = final.progress
+        results["tree"] = final.tree
+        yield from client.close()
+
+    drive(site, scenario())
+    assert results["progress"].engines_reporting == 64
+    assert results["progress"].events_processed == 6400
+    assert results["tree"].get("/counts/process").entries == 6400
+    assert site.scheduler.idle_worker_count == 64

@@ -1,0 +1,64 @@
+"""Regression guard: the headline paper numbers, inside the fast test suite.
+
+The benchmarks regenerate the full tables; these tests pin the calibrated
+endpoints so a refactor that silently shifts the timing model fails
+``pytest tests/`` immediately.
+"""
+
+import pytest
+
+from repro.core.experiment import run_grid_experiment, run_local_experiment
+
+
+@pytest.fixture(scope="module")
+def grid16():
+    return run_grid_experiment(471.0, 16, events_per_mb=2, collect_tree=False)
+
+
+@pytest.fixture(scope="module")
+def grid1():
+    return run_grid_experiment(471.0, 1, events_per_mb=2, collect_tree=False)
+
+
+@pytest.fixture(scope="module")
+def local():
+    return run_local_experiment(471.0)
+
+
+def test_local_total_45_minutes(local):
+    assert local.total == pytest.approx(45 * 60, rel=0.02)
+
+
+def test_local_download_32_minutes(local):
+    assert local.download == pytest.approx(32 * 60, rel=0.02)
+
+
+def test_local_analysis_13_minutes(local):
+    assert local.analysis == pytest.approx(13 * 60, rel=0.02)
+
+
+def test_grid16_staging_columns(grid16):
+    assert grid16.move_whole == pytest.approx(63, rel=0.03)
+    assert grid16.split == pytest.approx(120, rel=0.05)
+    assert grid16.move_parts == pytest.approx(50, rel=0.05)
+    assert grid16.stage_code == pytest.approx(7, abs=1.0)
+
+
+def test_grid_analysis_endpoints(grid1, grid16):
+    assert grid1.analysis == pytest.approx(330, rel=0.05)
+    assert grid16.analysis == pytest.approx(78, rel=0.08)
+
+
+def test_grid_beats_local_decisively(local, grid16):
+    speedup = local.total / grid16.total
+    assert 6.0 < speedup < 12.0  # paper: ~10x
+
+
+def test_crossover_region(local, grid16):
+    """Local wins tiny datasets; grid wins by ~20 MB at 16 nodes."""
+    small_local = run_local_experiment(5.0)
+    small_grid = run_grid_experiment(5.0, 16, events_per_mb=2, collect_tree=False)
+    assert small_local.total < small_grid.total
+    mid_local = run_local_experiment(25.0)
+    mid_grid = run_grid_experiment(25.0, 16, events_per_mb=2, collect_tree=False)
+    assert mid_grid.total < mid_local.total

@@ -1,0 +1,194 @@
+"""Unit tests for the catalog query language and the dataset catalog."""
+
+import pytest
+
+from repro.services.catalog import CatalogError, DatasetCatalogService, DatasetEntry
+from repro.services.query import QueryError, evaluate_query, parse_query
+
+
+# ---------------------------------------------------------------------------
+# Query language
+# ---------------------------------------------------------------------------
+
+DOC = {
+    "experiment": "ilc",
+    "energy": 500,
+    "name": "higgs-zh-500",
+    "year": 2006,
+    "tag": "good",
+}
+
+
+@pytest.mark.parametrize(
+    "query,expected",
+    [
+        ('experiment == "ilc"', True),
+        ('experiment == "lhc"', False),
+        ('experiment != "lhc"', True),
+        ("energy > 400", True),
+        ("energy > 500", False),
+        ("energy >= 500", True),
+        ("energy < 1000", True),
+        ("energy <= 499", False),
+        ('name like "higgs*"', True),
+        ('name like "*500"', True),
+        ('name like "*LHC*"', False),
+        ('name like "HIGGS*"', True),  # case-insensitive
+        ('experiment == "ilc" and energy > 400', True),
+        ('experiment == "lhc" or energy > 400', True),
+        ('experiment == "lhc" or energy > 600', False),
+        ('not experiment == "lhc"', True),
+        ("not energy > 400", False),
+        ('(experiment == "lhc" or year == 2006) and tag == "good"', True),
+        ("missing_key == 1", False),
+        ("not missing_key == 1", True),
+        ("energy == 500", True),
+        ("year == 2006 and energy == 500 and tag != \"bad\"", True),
+    ],
+)
+def test_query_evaluation(query, expected):
+    assert evaluate_query(query, DOC) is expected
+
+
+def test_query_bare_word_literal():
+    assert evaluate_query("experiment == ilc", DOC)
+
+
+def test_query_numeric_comparison_with_string_value():
+    # Value not convertible to float -> comparison false.
+    assert not evaluate_query("experiment > 5", DOC)
+
+
+def test_query_precedence_and_over_or():
+    # a or b and c == a or (b and c)
+    doc = {"a": 1, "b": 1, "c": 0}
+    assert evaluate_query("a == 1 or b == 1 and c == 1", doc)
+    assert not evaluate_query("(a == 1 or b == 1) and c == 1", doc)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "   ",
+        "energy >",
+        "energy 500",
+        "== 500",
+        "(energy > 5",
+        "energy > 5)",
+        "energy > 5 extra",
+        "name like 5",
+        "energy ~ 5",
+        "and energy > 5",
+    ],
+)
+def test_query_malformed(bad):
+    with pytest.raises(QueryError):
+        parse_query(bad)
+
+
+def test_query_nested_parens():
+    doc = {"x": 3}
+    assert evaluate_query("((x == 3))", doc)
+    assert evaluate_query("not (not x == 3)", doc)
+
+
+def test_query_scientific_notation():
+    assert evaluate_query("size < 1.5e3", {"size": 1000})
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+def entry(dataset_id, path, **metadata):
+    return DatasetEntry(
+        dataset_id=dataset_id,
+        path=path,
+        metadata=metadata,
+        size_mb=metadata.pop("_size", 100.0) if "_size" in metadata else 100.0,
+        n_events=10_000,
+        content={"kind": "ilc", "seed": 1},
+    )
+
+
+@pytest.fixture
+def catalog():
+    cat = DatasetCatalogService()
+    cat.register(entry("zh500", "/ilc/simulation/zh-500", experiment="ilc", energy=500))
+    cat.register(entry("ww500", "/ilc/simulation/ww-500", experiment="ilc", energy=500))
+    cat.register(entry("zh800", "/ilc/simulation/zh-800", experiment="ilc", energy=800))
+    cat.register(entry("lhcraw", "/lhc/raw/run1", experiment="lhc", energy=14000))
+    return cat
+
+
+def test_register_duplicates_rejected(catalog):
+    with pytest.raises(CatalogError, match="duplicate dataset id"):
+        catalog.register(entry("zh500", "/other/path"))
+    with pytest.raises(CatalogError, match="duplicate catalog path"):
+        catalog.register(entry("fresh", "/ilc/simulation/zh-500"))
+
+
+def test_register_validation():
+    cat = DatasetCatalogService()
+    with pytest.raises(CatalogError, match="absolute"):
+        cat.register(entry("x", "relative/path"))
+    with pytest.raises(CatalogError, match=">= 0"):
+        cat.register(
+            DatasetEntry("x", "/x", {}, size_mb=-1, n_events=0)
+        )
+
+
+def test_browse_root(catalog):
+    listing = catalog.browse("/")
+    assert listing["directories"] == ["ilc", "lhc"]
+    assert listing["datasets"] == []
+
+
+def test_browse_intermediate(catalog):
+    listing = catalog.browse("/ilc")
+    assert listing["directories"] == ["simulation"]
+    listing = catalog.browse("/ilc/simulation")
+    assert listing["datasets"] == ["ww-500", "zh-500", "zh-800"]
+
+
+def test_browse_missing_path(catalog):
+    with pytest.raises(CatalogError):
+        catalog.browse("/nowhere")
+
+
+def test_entry_lookup(catalog):
+    assert catalog.entry("zh500").path == "/ilc/simulation/zh-500"
+    assert catalog.entry_at("/ilc/simulation/zh-800").dataset_id == "zh800"
+    with pytest.raises(CatalogError):
+        catalog.entry("ghost")
+    with pytest.raises(CatalogError):
+        catalog.entry_at("/ghost")
+    assert len(catalog) == 4
+
+
+def test_search_by_metadata(catalog):
+    hits = catalog.search('experiment == "ilc" and energy == 500')
+    assert [e.dataset_id for e in hits] == ["ww500", "zh500"]
+
+
+def test_search_intrinsic_fields(catalog):
+    hits = catalog.search('dataset_id like "zh*"')
+    assert {e.dataset_id for e in hits} == {"zh500", "zh800"}
+    hits = catalog.search("n_events >= 10000")
+    assert len(hits) == 4
+
+
+def test_search_no_hits(catalog):
+    assert catalog.search("energy > 99999") == []
+
+
+def test_search_bad_query(catalog):
+    with pytest.raises(CatalogError, match="bad query"):
+        catalog.search("energy >")
+
+
+def test_search_document_does_not_mutate_entry(catalog):
+    before = dict(catalog.entry("zh500").metadata)
+    catalog.search("size_mb > 1")
+    assert catalog.entry("zh500").metadata == before

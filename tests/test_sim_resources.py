@@ -1,0 +1,346 @@
+"""Unit tests for simulation resources: Resource, PriorityResource, Store, Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(name, hold):
+        with res.request() as req:
+            yield req
+            granted.append((name, env.now))
+            yield env.timeout(hold)
+
+    env.process(user("a", 5))
+    env.process(user("b", 5))
+    env.process(user("c", 5))
+    env.run()
+    assert granted == [("a", 0), ("b", 0), ("c", 5)]
+
+
+def test_resource_count_tracks_usage():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        with res.request() as req:
+            yield req
+            assert res.count == 1
+            yield env.timeout(1)
+
+    env.process(user())
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_release_idempotent_for_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    def canceller():
+        yield env.timeout(1)
+        req = res.request()
+        assert not req.triggered
+        req.cancel()
+        yield env.timeout(1)
+        assert not req.triggered
+
+    env.process(holder())
+    env.process(canceller())
+    env.run()
+    assert res.count == 0
+    assert res.queue == []
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(name):
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    for name in "abc":
+        env.process(user(name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_usage_since_recorded():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user():
+        with res.request() as req:
+            yield req
+            assert req.usage_since == env.now
+            yield env.timeout(2)
+
+    def late_user():
+        yield env.timeout(1)
+        with res.request() as req:
+            yield req
+            assert req.usage_since == 2.0
+
+    env.process(user())
+    env.process(late_user())
+    env.run()
+
+
+# ---------------------------------------------------------------------------
+# PriorityResource
+# ---------------------------------------------------------------------------
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(10)
+
+    def user(name, priority):
+        yield env.timeout(1)  # queue behind the holder
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder())
+    env.process(user("low", 5))
+    env.process(user("high", 1))
+    env.process(user("mid", 3))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_resource_fifo_within_same_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def user(name):
+        yield env.timeout(1)
+        with res.request(priority=2) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1)
+
+    env.process(holder())
+    for name in "abc":
+        env.process(user(name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_priority_resource_cancel_skips_heap_entry():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def cancelling_user():
+        yield env.timeout(1)
+        req = res.request(priority=1)
+        yield env.timeout(1)
+        req.cancel()
+
+    def user():
+        yield env.timeout(1)
+        with res.request(priority=2) as req:
+            yield req
+            order.append(env.now)
+
+    env.process(holder())
+    env.process(cancelling_user())
+    env.process(user())
+    env.run()
+    assert order == [5]
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_put_get_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_get_blocks_until_item():
+    env = Environment()
+    store = Store(env)
+    log = []
+
+    def consumer():
+        item = yield store.get()
+        log.append((env.now, item))
+
+    def producer():
+        yield env.timeout(4)
+        yield store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [(4, "late")]
+
+
+def test_store_put_blocks_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer():
+        yield store.put("a")
+        log.append(("a", env.now))
+        yield store.put("b")
+        log.append(("b", env.now))
+
+    def consumer():
+        yield env.timeout(5)
+        yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [("a", 0), ("b", 5)]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    env.run()
+    assert len(store) == 2
+
+
+# ---------------------------------------------------------------------------
+# Container
+# ---------------------------------------------------------------------------
+
+def test_container_init_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=11)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=-1)
+
+
+def test_container_put_get_levels():
+    env = Environment()
+    tank = Container(env, capacity=100, init=50)
+
+    def proc():
+        yield tank.get(20)
+        assert tank.level == 30
+        yield tank.put(60)
+        assert tank.level == 90
+
+    env.run(until=env.process(proc()))
+
+
+def test_container_get_blocks_until_level_sufficient():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    log = []
+
+    def consumer():
+        yield tank.get(10)
+        log.append(env.now)
+
+    def producer():
+        yield env.timeout(3)
+        yield tank.put(10)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert log == [3]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    log = []
+
+    def producer():
+        yield tank.put(5)
+        log.append(env.now)
+
+    def consumer():
+        yield env.timeout(2)
+        yield tank.get(5)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert log == [2]
+
+
+def test_container_zero_amount_rejected():
+    env = Environment()
+    tank = Container(env, capacity=10, init=5)
+    with pytest.raises(ValueError):
+        tank.put(0)
+    with pytest.raises(ValueError):
+        tank.get(-1)

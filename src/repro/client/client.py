@@ -210,19 +210,31 @@ class IPAClient:
         """
         info = self._require_session()
         deadline = None if timeout is None else self.env.now + timeout
-        expected = info.n_engines
         while True:
             result = yield from self.poll()
             progress = result.progress
+            # Under failure recovery the session service shrinks/grows the
+            # expected-engine count as members die and spares join; fall
+            # back to the creation-time count when it is not tracking.
+            expected = (
+                progress.expected_engines
+                if progress.expected_engines is not None
+                else info.n_engines
+            )
             if progress.engines_reporting >= expected and progress.complete:
                 return result
-            # Fail fast if an engine died (a crashed analysis would
-            # otherwise leave us polling forever).
+            # Fail fast if an analysis crashed (node failures are excluded:
+            # the session service recovers those by re-dispatch).
             summary = yield from self.status()
             if summary["failures"]:
                 failure = summary["failures"][0]
                 raise ClientError(
                     f"engine job {failure['job']!r} failed: {failure['error']}"
+                )
+            if summary.get("unrecoverable"):
+                raise ClientError(
+                    "session is unrecoverable: every engine died and no "
+                    "spare worker is available"
                 )
             if deadline is not None and self.env.now >= deadline:
                 raise ClientError(

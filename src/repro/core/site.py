@@ -40,6 +40,7 @@ from repro.grid.security import (
     VirtualOrganization,
 )
 from repro.grid.transfer import GridFTPService
+from repro.resilience import FailureInjector, RecoveryConfig, RetryPolicy
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService, DatasetEntry
 from repro.services.codeloader import ManagingClassLoaderService
@@ -68,12 +69,27 @@ class SiteConfig:
     session_lifetime:
         WSRF lifetime of session resources in seconds (``None`` =
         immortal).
+    enable_recovery:
+        Run the session service's heartbeat monitor + partition
+        re-dispatch (the failure model documented in
+        :mod:`repro.services.session`).
+    heartbeat_interval / heartbeat_timeout:
+        Engine liveness cadence and the silence after which an engine is
+        declared dead.
+    retry_jitter / retry_seed:
+        Deterministic jitter applied to the site's GridFTP retry backoff
+        (de-synchronizes concurrent retries without losing repeatability).
     """
 
     n_workers: int = 16
     max_engines_per_session: Optional[int] = None
     merge_fan_in: Optional[int] = None
     session_lifetime: Optional[float] = None
+    enable_recovery: bool = True
+    heartbeat_interval: float = 5.0
+    heartbeat_timeout: float = 20.0
+    retry_jitter: float = 0.25
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -205,7 +221,19 @@ class GridSite:
         )
 
         # -- transfer + services --------------------------------------------
-        self.ftp = GridFTPService(env, net, setup_overhead=0.2)
+        self.ftp = GridFTPService(
+            env,
+            net,
+            setup_overhead=0.2,
+            retry_policy=RetryPolicy(
+                max_attempts=3,
+                base_delay=1.0,
+                multiplier=2.0,
+                max_delay=30.0,
+                jitter=config.retry_jitter,
+                seed=config.retry_seed,
+            ),
+        )
         self.container = ServiceContainer(
             env, soap_latency=cal.soap_latency_s, rmi_latency=cal.rmi_latency_s
         )
@@ -242,7 +270,17 @@ class GridSite:
             content_store=self.content_store,
             calibration=cal,
             session_lifetime=config.session_lifetime,
+            recovery=(
+                RecoveryConfig(
+                    heartbeat_interval=config.heartbeat_interval,
+                    heartbeat_timeout=config.heartbeat_timeout,
+                )
+                if config.enable_recovery
+                else None
+            ),
         )
+        # Deterministic fault injection for chaos tests and benchmarks.
+        self.injector = FailureInjector(env, self.scheduler, network=net)
         self.control = ControlService(
             env, self.ca, self.service_credential, self.session_service, self.container
         )

@@ -104,10 +104,34 @@ class AnalysisEngine:
         self._run_id = 0
         self._started = False
         self._ended = False
+        # Cumulative offsets from parts absorbed before the current one
+        # (failure recovery re-dispatches a dead engine's partitions here).
+        self._events_base = 0
+        self._total_base = 0
 
     # -- staging ------------------------------------------------------------
     def load_data(self, batch: EventBatch) -> None:
-        """Stage the dataset part; resets the cursor."""
+        """Stage the dataset part; resets the cursor and any prior parts."""
+        self._data = batch
+        self._cursor = 0
+        self._ended = False
+        self._events_base = 0
+        self._total_base = 0
+
+    def load_additional_data(self, batch: EventBatch) -> None:
+        """Absorb a further dataset part (partition takeover on recovery).
+
+        The tree and analysis state are kept — AIDA merge semantics make the
+        union exact — and progress accounting becomes cumulative across all
+        absorbed parts.  The previous part's processed events are folded
+        into the base offsets, so snapshots keep reporting monotonically
+        increasing ``events_processed``.
+        """
+        if self._data is None:
+            self.load_data(batch)
+            return
+        self._events_base += self._cursor
+        self._total_base += len(self._data)
         self._data = batch
         self._cursor = 0
         self._ended = False
@@ -129,13 +153,14 @@ class AnalysisEngine:
 
     @property
     def cursor(self) -> int:
-        """Events processed so far in the current run."""
-        return self._cursor
+        """Events processed so far in the current run (all parts)."""
+        return self._events_base + self._cursor
 
     @property
     def total_events(self) -> int:
-        """Events in the staged part (0 before staging)."""
-        return len(self._data) if self._data is not None else 0
+        """Events across every absorbed part (0 before staging)."""
+        current = len(self._data) if self._data is not None else 0
+        return self._total_base + current
 
     @property
     def done(self) -> bool:
@@ -163,6 +188,8 @@ class AnalysisEngine:
         self.tree = ObjectTree()
         self._started = False
         self._ended = False
+        self._events_base = 0
+        self._total_base = 0
 
     def process_chunk(self) -> ChunkResult:
         """Apply pending controls, then process up to one chunk of events.
@@ -258,7 +285,7 @@ class AnalysisEngine:
         return Snapshot(
             engine_id=self.engine_id,
             sequence=self._sequence,
-            events_processed=self._cursor,
+            events_processed=self._events_base + self._cursor,
             total_events=self.total_events,
             analysis_version=(
                 self._analysis.version if self._analysis is not None else 0

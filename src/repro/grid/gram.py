@@ -24,12 +24,17 @@ from repro.grid.security import (
     CertificateAuthority,
     SecurityError,
 )
+from repro.resilience.retry import RetryPolicy
 from repro.sim import Environment, Event, Interrupt
 from repro.grid.nodes import WorkerNode
 
 
 class GramError(Exception):
     """Raised when a GRAM request is malformed or rejected."""
+
+
+class GramUnavailable(GramError):
+    """Transient gatekeeper outage: the request may be retried."""
 
 
 @dataclass(frozen=True)
@@ -102,6 +107,18 @@ class GramGatekeeper:
         self.authz = authz
         self.auth_overhead = auth_overhead
         self._request_seq = 0
+        #: Remaining injected transient outages (consumed per submit).
+        self._pending_failures = 0
+        #: Backoff schedule used by :meth:`submit_with_retry`.
+        self.retry_policy = RetryPolicy(
+            max_attempts=3, base_delay=2.0, multiplier=2.0, max_delay=60.0
+        )
+
+    def inject_failures(self, count: int) -> None:
+        """Make the next *count* submissions fail with :class:`GramUnavailable`."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._pending_failures = count
 
     def submit(
         self,
@@ -127,6 +144,9 @@ class GramGatekeeper:
         SecurityError
             On authentication/authorization failure.
         """
+        if self._pending_failures > 0:
+            self._pending_failures -= 1
+            raise GramUnavailable("gatekeeper temporarily unavailable")
         identity = self.ca.validate_chain(credential_chain, self.env.now)
         policy = self.authz.authorize(identity)
         if description.count > policy.max_engines_per_session:
@@ -156,6 +176,36 @@ class GramGatekeeper:
         )
         return submission
 
+    def submit_with_retry(
+        self,
+        description: JobDescription,
+        credential_chain: List[Certificate],
+        body_factory: Callable[
+            [int], Callable[[Environment, WorkerNode], Generator]
+        ],
+        policy: Optional[RetryPolicy] = None,
+    ) -> Generator:
+        """Like :meth:`submit`, retrying transient gatekeeper outages.
+
+        Generator to ``yield from`` inside a simulation process.  Only
+        :class:`GramUnavailable` is retried — authentication, policy and
+        queue errors are permanent and propagate on the first attempt.
+        """
+        policy = policy or self.retry_policy
+        start = self.env.now
+        last_error: Optional[GramUnavailable] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                return self.submit(description, credential_chain, body_factory)
+            except GramUnavailable as exc:
+                last_error = exc
+                if not policy.should_retry(attempt, self.env.now - start):
+                    break
+                yield self.env.timeout(
+                    policy.delay(attempt, salt=("gram", self._request_seq))
+                )
+        raise last_error
+
     def _with_auth_overhead(
         self, body: Callable[[Environment, WorkerNode], Generator]
     ) -> Callable[[Environment, WorkerNode], Generator]:
@@ -180,7 +230,7 @@ class GramGatekeeper:
 
         return wrapped
 
-    def cancel(self, submission: GramSubmission, reason: str = "session-end") -> None:
+    def cancel(self, submission: GramSubmission, reason: object = "session-end") -> None:
         """Cancel every non-terminal job of a submission (§2.3 shutdown)."""
         for job in submission.jobs:
             if job.state not in JobState.TERMINAL:

@@ -25,7 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.sim import Environment, Interrupt, Process
+from repro.sim import Environment, Interrupt, LinkDown, Process
 
 
 class NetworkError(Exception):
@@ -93,6 +93,9 @@ class Link:
         self.bandwidth = float(bandwidth)
         self.latency = float(latency)
         self.per_flow_cap = per_flow_cap
+        #: Whether the link is operational; down links carry no routes and
+        #: in-flight flows crossing them fail with :class:`LinkDown`.
+        self.up = True
 
     def endpoints(self) -> Tuple[str, str]:
         """The two host names this link connects."""
@@ -337,6 +340,8 @@ class Network:
         while frontier:
             here = frontier.popleft()
             for link in self._adjacency[here]:
+                if not link.up:
+                    continue
                 there = link.b if link.a == here else link.a
                 if there in visited:
                     continue
@@ -358,6 +363,55 @@ class Network:
         route = Route(src, dst, tuple(reversed(links)))
         self._route_cache[key] = route
         return route
+
+    def links_of(self, host: str) -> List[Link]:
+        """All links attached to *host*."""
+        if host not in self._hosts:
+            raise NetworkError(f"unknown host {host!r}")
+        return list(self._adjacency[host])
+
+    # -- failures -------------------------------------------------------
+    def fail_link(self, name: str) -> None:
+        """Take a link down.
+
+        Routes are recomputed (the cache is cleared) and every in-flight
+        flow crossing the link is failed with :class:`LinkDown`.  Idempotent.
+        """
+        link = self._links.get(name)
+        if link is None:
+            raise NetworkError(f"unknown link {name!r}")
+        if not link.up:
+            return
+        link.up = False
+        self._route_cache.clear()
+        for flow in list(self._flows):
+            if link in flow.links and flow.process is not None:
+                if flow.process.is_alive and flow.process is not self.env.active_process:
+                    flow.process.interrupt(LinkDown(link.name, "link failed"))
+
+    def restore_link(self, name: str) -> None:
+        """Bring a previously failed link back up (idempotent)."""
+        link = self._links.get(name)
+        if link is None:
+            raise NetworkError(f"unknown link {name!r}")
+        if link.up:
+            return
+        link.up = True
+        self._route_cache.clear()
+
+    def fail_links_of(self, host: str) -> List[str]:
+        """Take down every link attached to *host*; returns their names."""
+        names = [link.name for link in self.links_of(host)]
+        for link_name in names:
+            self.fail_link(link_name)
+        return names
+
+    def restore_links_of(self, host: str) -> List[str]:
+        """Restore every link attached to *host*; returns their names."""
+        names = [link.name for link in self.links_of(host)]
+        for link_name in names:
+            self.restore_link(link_name)
+        return names
 
     # -- flow dynamics ----------------------------------------------------
     @property
@@ -439,7 +493,12 @@ class Network:
                 try:
                     yield self.env.timeout(eta)
                     flow.remaining_mb = 0.0
-                except Interrupt:
+                except Interrupt as intr:
+                    if isinstance(intr.cause, LinkDown):
+                        # A link on our route died: the transfer fails and
+                        # the caller decides whether to retry over a new
+                        # route.
+                        raise intr.cause from None
                     # Deduct progress at the rate that was in force during
                     # the wait (flow.rate has already been updated by the
                     # rebalance that interrupted us).

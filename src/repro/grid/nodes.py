@@ -121,11 +121,25 @@ class WorkerNode(Node):
         super().__init__(env, name, spec)
         #: Engine identifier currently running here, if any.
         self.engine_id: Optional[str] = None
+        #: Set when the node has failed (crash/hang/unreachable); the
+        #: scheduler stops dispatching to it until it is restored.
+        self.failed: bool = False
+        #: Set while the node's network link is down: heartbeats from the
+        #: engine cannot reach the manager even though compute continues.
+        self.link_down: bool = False
+        #: Multiplier applied to analysis compute on this node (> 1 models
+        #: a degraded/preempted "slow node").
+        self.slow_factor: float = 1.0
 
     @property
     def busy(self) -> bool:
         """Whether an analysis engine occupies this worker."""
         return self.engine_id is not None
+
+    @property
+    def available(self) -> bool:
+        """Whether the worker can accept a new engine."""
+        return not self.busy and not self.failed
 
 
 class ManagerNode(Node):

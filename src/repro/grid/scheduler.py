@@ -24,7 +24,7 @@ from itertools import count
 from typing import Callable, Dict, Generator, List, Optional
 
 from repro.grid.nodes import ComputeElement, WorkerNode
-from repro.sim import Environment, Event, Interrupt, Process
+from repro.sim import Environment, Event, Interrupt, NodeFailure, Process
 
 
 class SchedulerError(Exception):
@@ -164,7 +164,7 @@ class BatchScheduler:
         except KeyError:
             raise SchedulerError(f"unknown job id {job_id}") from None
 
-    def cancel(self, job_id: int, reason: str = "cancelled") -> None:
+    def cancel(self, job_id: int, reason: object = "cancelled") -> None:
         """Cancel a pending or running job (idempotent on terminal jobs)."""
         job = self.job(job_id)
         if job.state in JobState.TERMINAL:
@@ -193,6 +193,31 @@ class BatchScheduler:
         """Workers with no job assigned."""
         return len(self._idle)
 
+    @property
+    def available_worker_count(self) -> int:
+        """Idle workers that are healthy (dispatchable)."""
+        return sum(1 for w in self._idle if not w.failed)
+
+    def running_job_on(self, worker_name: str) -> Optional[Job]:
+        """The job currently running on *worker_name*, if any."""
+        for job in self._jobs.values():
+            if (
+                job.state == JobState.RUNNING
+                and job.worker is not None
+                and job.worker.name == worker_name
+            ):
+                return job
+        return None
+
+    def restore_worker(self, name: str) -> None:
+        """Mark a failed worker healthy again and make it dispatchable."""
+        worker = self.element.worker(name)
+        worker.failed = False
+        worker.slow_factor = 1.0
+        if not worker.busy and worker not in self._idle:
+            self._idle.append(worker)
+        self._kick()
+
     # -- internals --------------------------------------------------------
     def _kick(self) -> None:
         if not self._wakeup.triggered:
@@ -202,13 +227,16 @@ class BatchScheduler:
         while True:
             # Dispatch as many jobs as there are idle workers, in
             # (queue priority, submission order) order.
-            while self._pending and self._idle:
+            while self._pending:
+                worker = next((w for w in self._idle if not w.failed), None)
+                if worker is None:
+                    break
                 job = min(
                     self._pending,
                     key=lambda j: (self._queues[j.queue].priority, j.id),
                 )
                 self._pending.remove(job)
-                worker = self._idle.pop(0)
+                self._idle.remove(worker)
                 self.env.process(self._run_job(job, worker))
             yield self._wakeup
             self._wakeup = self.env.event()
@@ -233,19 +261,31 @@ class BatchScheduler:
             job.result = yield body_proc
             job_state = JobState.COMPLETED
         except Interrupt as intr:
-            job.error = intr
-            job_state = (
-                JobState.KILLED
-                if intr.cause == "wall-time"
-                else JobState.CANCELLED
-            )
+            if isinstance(intr.cause, NodeFailure):
+                # Infrastructure failure, not a user cancel: the job failed
+                # and the node is unusable until explicitly restored.
+                job.error = intr.cause
+                job_state = JobState.FAILED
+                worker.failed = True
+            else:
+                job.error = intr
+                job_state = (
+                    JobState.KILLED
+                    if intr.cause == "wall-time"
+                    else JobState.CANCELLED
+                )
+        except NodeFailure as exc:  # body observed its node failing
+            job.error = exc
+            job_state = JobState.FAILED
+            worker.failed = True
         except BaseException as exc:  # job body crashed
             job.error = exc
             job_state = JobState.FAILED
         if watchdog is not None and watchdog.is_alive:
             watchdog.interrupt("job-done")
         worker.engine_id = None
-        self._idle.append(worker)
+        if not worker.failed:
+            self._idle.append(worker)
         self._finish(job, job_state)
         self._kick()
 

@@ -19,20 +19,24 @@ per-flow ceiling (never exceeding link capacity, which the max-min model
 enforces).
 
 Fault tolerance: transient failures can be injected per service
-(:meth:`GridFTPService.inject_failures`); ``transfer_file`` retries a
-configurable number of times with a fixed backoff, raising
-:class:`TransferError` once retries are exhausted — mirroring real
-GridFTP clients' restart behaviour.
+(:meth:`GridFTPService.inject_failures`); ``transfer_file`` retries under
+a :class:`~repro.resilience.retry.RetryPolicy` (exponential backoff with
+optional deterministic jitter), raising :class:`TransferError` once the
+policy is exhausted — mirroring real GridFTP clients' restart behaviour.
+A dropped network link (:class:`~repro.sim.LinkDown`) is retried the same
+way, so a transfer survives a brief outage if the link comes back.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import count
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.grid.network import Network, TransferStats
 from repro.grid.nodes import Node, StorageElement
-from repro.sim import Environment, Process
+from repro.resilience.retry import RetryPolicy
+from repro.sim import Environment, LinkDown, Process
 
 
 class TransferError(Exception):
@@ -73,6 +77,11 @@ class GridFTPService:
         cap.  Multiplied by ``streams`` to form the flow cap.
     streams:
         Default number of parallel streams per transfer.
+    retry_policy:
+        Backoff schedule for failed attempts.  The default (base delay
+        1 s, multiplier 2, no jitter) reproduces the historical fixed
+        1 s first-retry delay exactly; pass a jittered policy (with a
+        seed) for desynchronised but still deterministic retries.
     """
 
     def __init__(
@@ -82,6 +91,7 @@ class GridFTPService:
         setup_overhead: float = 0.5,
         stream_rate: Optional[float] = None,
         streams: int = 1,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if setup_overhead < 0:
             raise ValueError("setup_overhead must be >= 0")
@@ -94,12 +104,16 @@ class GridFTPService:
         self.setup_overhead = setup_overhead
         self.stream_rate = stream_rate
         self.default_streams = streams
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=3, base_delay=1.0, multiplier=2.0, max_delay=30.0
+        )
         #: Completed transfers, newest last (for tests/diagnostics).
         self.log: List[TransferStats] = []
         #: Remaining injected transient failures (consumed per attempt).
         self._pending_failures = 0
-        #: Seconds to wait before a retry attempt.
-        self.retry_backoff = 1.0
+        #: Per-transfer salt so concurrent transfers get independent (but
+        #: deterministic) jitter streams.
+        self._transfer_seq = count()
 
     def inject_failures(self, count: int) -> None:
         """Make the next *count* transfer attempts fail mid-flight."""
@@ -131,22 +145,31 @@ class GridFTPService:
         streams: Optional[int] = None,
         read_disk: bool = True,
         write_disk: bool = True,
-        retries: int = 2,
+        retries: Optional[int] = 2,
     ) -> Process:
         """Move one file between nodes; returns a waitable process.
 
         The process value is a :class:`~repro.grid.network.TransferStats`.
         Disk read at the source and write at the destination are included
         unless disabled (the scatter path manages SE disk reads itself).
-        Injected transient failures abort an attempt halfway; up to
-        *retries* restarts are made (full re-send, GridFTP-classic) before
-        :class:`TransferError` is raised.
+        Injected transient failures abort an attempt halfway; restarts
+        (full re-send, GridFTP-classic) follow the service's
+        :class:`RetryPolicy` before :class:`TransferError` is raised.
+        *retries* overrides the policy's attempt budget
+        (``attempts = retries + 1``); pass ``None`` to use the policy's
+        own ``max_attempts``.
         """
         if size_mb < 0:
             raise ValueError("size_mb must be >= 0")
-        if retries < 0:
+        if retries is not None and retries < 0:
             raise ValueError("retries must be >= 0")
         cap = self._flow_cap(streams)
+        policy = (
+            self.retry_policy
+            if retries is None
+            else self.retry_policy.with_attempts(retries + 1)
+        )
+        salt = next(self._transfer_seq)
 
         def attempt():
             if self.setup_overhead:
@@ -172,15 +195,21 @@ class GridFTPService:
             return stats
 
         def run():
-            last_error: Optional[TransferError] = None
-            for attempt_index in range(retries + 1):
+            start = self.env.now
+            last_error: Optional[Exception] = None
+            for attempt_index in range(policy.max_attempts):
                 try:
                     stats = yield self.env.process(attempt())
                     return stats
-                except TransferError as exc:
+                except (TransferError, LinkDown) as exc:
                     last_error = exc
-                    if attempt_index < retries and self.retry_backoff:
-                        yield self.env.timeout(self.retry_backoff)
+                    if not policy.should_retry(
+                        attempt_index, self.env.now - start
+                    ):
+                        break
+                    delay = policy.delay(attempt_index, salt)
+                    if delay:
+                        yield self.env.timeout(delay)
             raise last_error
 
         return self.env.process(run())

@@ -1,0 +1,34 @@
+"""Failure model and recovery subsystem for the IPA reproduction.
+
+Real OSG worker nodes are preempted, crash, and lose their network
+mid-session; DIAL and the GridFTP replica-management work both treat
+engine/transfer fault tolerance as a first-class requirement for
+interactive grid analysis.  This package provides the three building
+blocks the grid and session layers share:
+
+``RetryPolicy`` (:mod:`repro.resilience.retry`)
+    Exponential backoff with deterministic jitter, a deadline, and a
+    max-attempt budget — used by GridFTP transfers, GRAM submission,
+    service-envelope dispatch and recovery re-staging.
+``FaultPlan`` / ``FailureInjector`` (:mod:`repro.resilience.faults`)
+    Declarative, seeded fault schedules (crash / hang / slow node /
+    link-down) applied to workers via kernel interrupts.
+``RecoveryConfig`` / ``HeartbeatMonitor`` (:mod:`repro.resilience.heartbeat`)
+    Heartbeat bookkeeping and the tunables of the session service's
+    detect-and-re-dispatch loop.
+"""
+
+from repro.resilience.faults import FAULT_KINDS, FailureInjector, FaultPlan, WorkerFault
+from repro.resilience.heartbeat import HeartbeatMonitor, RecoveryConfig
+from repro.resilience.retry import RetryPolicy, retrying
+
+__all__ = [
+    "FAULT_KINDS",
+    "FailureInjector",
+    "FaultPlan",
+    "HeartbeatMonitor",
+    "RecoveryConfig",
+    "RetryPolicy",
+    "WorkerFault",
+    "retrying",
+]

@@ -1,0 +1,239 @@
+"""Fault plans and the failure injector.
+
+The injector turns declarative :class:`FaultPlan` entries into concrete
+infrastructure failures, layered on the sim kernel's interrupt mechanism:
+
+``crash``
+    The worker dies abruptly: its running job is interrupted with
+    :class:`~repro.sim.NodeCrash`, the engine deregisters (the OS is gone),
+    and the node is marked failed so the scheduler avoids it.
+``hang``
+    The worker freezes: the job keeps "running" but stops making progress
+    and stops heartbeating (:class:`~repro.sim.NodeHang`).  Only the
+    session heartbeat monitor can detect this.
+``slow``
+    The worker degrades: analysis compute is scaled by ``slow_factor``
+    (preemption / noisy neighbour).  No interrupt is delivered.
+``link-down``
+    Every network link of the worker goes down: in-flight transfers fail
+    with :class:`~repro.sim.LinkDown` and heartbeats stop reaching the
+    manager while the engine keeps computing uselessly.
+
+Faults fire either at an absolute simulated time (``at=...``) or
+probabilistically (``probability=...`` per check interval, driven by a
+seeded RNG so chaos runs are reproducible).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.grid.network import Network
+from repro.grid.scheduler import BatchScheduler
+from repro.sim import Environment, LinkDown, NodeCrash, NodeHang
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("crash", "hang", "slow", "link-down")
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One planned fault against a named worker.
+
+    Exactly one of ``at`` (absolute simulated time) or ``probability``
+    (chance per plan check interval) should be set.
+    """
+
+    worker: str
+    kind: str = "crash"
+    at: Optional[float] = None
+    probability: float = 0.0
+    slow_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at is None and self.probability <= 0.0:
+            raise ValueError("fault needs either at= or probability>0")
+        if self.at is not None and self.at < 0:
+            raise ValueError("at must be >= 0")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1.0")
+
+
+@dataclass
+class FaultPlan:
+    """A reproducible schedule of infrastructure faults.
+
+    Parameters
+    ----------
+    faults:
+        The planned faults.
+    seed:
+        RNG seed for probabilistic faults.
+    check_every:
+        Interval (simulated seconds) at which probabilistic faults are
+        rolled.
+    horizon:
+        Stop rolling probabilistic faults after this simulated time
+        (``None`` = keep rolling until every one has fired).
+    """
+
+    faults: List[WorkerFault] = field(default_factory=list)
+    seed: int = 0
+    check_every: float = 5.0
+    horizon: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.check_every <= 0:
+            raise ValueError("check_every must be > 0")
+
+    def add(self, fault: WorkerFault) -> "FaultPlan":
+        """Append a fault; returns self for chaining."""
+        self.faults.append(fault)
+        return self
+
+    def scheduled(self) -> List[WorkerFault]:
+        """Faults pinned to an absolute time, in firing order."""
+        return sorted(
+            (f for f in self.faults if f.at is not None),
+            key=lambda f: (f.at, f.worker),
+        )
+
+    def probabilistic(self) -> List[WorkerFault]:
+        """Faults fired by per-interval dice rolls."""
+        return [f for f in self.faults if f.at is None]
+
+
+class FailureInjector:
+    """Applies faults to a running site.
+
+    Parameters
+    ----------
+    env, scheduler:
+        The simulation environment and the batch scheduler owning the
+        workers.
+    network:
+        Needed only for ``link-down`` faults.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        scheduler: BatchScheduler,
+        network: Optional[Network] = None,
+    ) -> None:
+        self.env = env
+        self.scheduler = scheduler
+        self.network = network
+        #: Chronological record of injected faults: (time, kind, worker).
+        self.log: List[Tuple[float, str, str]] = []
+
+    # -- direct injection ------------------------------------------------
+    def crash_worker(self, name: str) -> None:
+        """Kill *name* abruptly (its job fails with :class:`NodeCrash`)."""
+        worker = self.scheduler.element.worker(name)
+        worker.failed = True
+        self._interrupt_job(name, NodeCrash(name, "worker crashed"))
+        self.log.append((self.env.now, "crash", name))
+
+    def hang_worker(self, name: str) -> None:
+        """Freeze *name*: the job never terminates, heartbeats stop."""
+        worker = self.scheduler.element.worker(name)
+        worker.failed = True
+        self._interrupt_job(name, NodeHang(name, "worker hung"))
+        self.log.append((self.env.now, "hang", name))
+
+    def slow_worker(self, name: str, factor: float = 4.0) -> None:
+        """Degrade *name*: analysis compute is scaled by *factor*."""
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1.0")
+        worker = self.scheduler.element.worker(name)
+        worker.slow_factor = factor
+        self.log.append((self.env.now, "slow", name))
+
+    def cut_links(self, name: str) -> List[str]:
+        """Take down every network link of worker *name*.
+
+        The engine keeps computing but cannot heartbeat or receive
+        directives, so the session monitor eventually declares it dead.
+        Returns the failed link names (for :meth:`restore_links`).
+        """
+        if self.network is None:
+            raise ValueError("injector built without a network")
+        worker = self.scheduler.element.worker(name)
+        worker.failed = True
+        worker.link_down = True
+        failed = self.network.fail_links_of(name)
+        self.log.append((self.env.now, "link-down", name))
+        return failed
+
+    def restore_links(self, name: str) -> None:
+        """Bring a worker's links back up and mark the node healthy."""
+        if self.network is None:
+            raise ValueError("injector built without a network")
+        worker = self.scheduler.element.worker(name)
+        worker.link_down = False
+        self.network.restore_links_of(name)
+        self.scheduler.restore_worker(name)
+        self.log.append((self.env.now, "link-up", name))
+
+    def restore_worker(self, name: str) -> None:
+        """Return a crashed/hung/slow worker to the schedulable pool."""
+        self.scheduler.restore_worker(name)
+        self.log.append((self.env.now, "restore", name))
+
+    def apply_fault(self, fault: WorkerFault) -> None:
+        """Fire one planned fault now."""
+        if fault.kind == "crash":
+            self.crash_worker(fault.worker)
+        elif fault.kind == "hang":
+            self.hang_worker(fault.worker)
+        elif fault.kind == "slow":
+            self.slow_worker(fault.worker, fault.slow_factor)
+        elif fault.kind == "link-down":
+            self.cut_links(fault.worker)
+        else:  # pragma: no cover - guarded by WorkerFault validation
+            raise ValueError(f"unknown fault kind {fault.kind!r}")
+
+    # -- plan execution --------------------------------------------------
+    def apply(self, plan: FaultPlan) -> List:
+        """Start simulation processes that execute *plan*.
+
+        Returns the started processes (for tests that want to wait on
+        them); faults fire as simulated time reaches them.
+        """
+        procs = []
+        for fault in plan.scheduled():
+            procs.append(self.env.process(self._fire_at(fault)))
+        if plan.probabilistic():
+            procs.append(self.env.process(self._roll(plan)))
+        return procs
+
+    def _fire_at(self, fault: WorkerFault):
+        delay = fault.at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.apply_fault(fault)
+
+    def _roll(self, plan: FaultPlan):
+        rng = random.Random(plan.seed)
+        outstanding = list(plan.probabilistic())
+        while outstanding:
+            if plan.horizon is not None and self.env.now >= plan.horizon:
+                return
+            yield self.env.timeout(plan.check_every)
+            for fault in list(outstanding):
+                if rng.random() < fault.probability:
+                    self.apply_fault(fault)
+                    outstanding.remove(fault)
+
+    # -- internals --------------------------------------------------------
+    def _interrupt_job(self, worker_name: str, cause) -> None:
+        job = self.scheduler.running_job_on(worker_name)
+        if job is not None and job._process is not None and job._process.is_alive:
+            job._process.interrupt(cause)

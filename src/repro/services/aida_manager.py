@@ -47,6 +47,13 @@ class MergeProgress:
     run_id: int
     analysis_versions: List[int]
     merged_at: float
+    #: Engines the session currently expects results from (set by the
+    #: session service; maintained through recovery).  ``None`` when the
+    #: session layer is not tracking membership.
+    expected_engines: Optional[int] = None
+    #: True while a failure recovery is re-dispatching orphaned partitions
+    #: — results must not be treated as complete during that window.
+    recovering: bool = False
 
     @property
     def fraction_done(self) -> float:
@@ -57,11 +64,17 @@ class MergeProgress:
 
     @property
     def complete(self) -> bool:
-        """True when every reporting engine delivered its final snapshot."""
-        return (
-            self.engines_reporting > 0
-            and self.final_engines == self.engines_reporting
-        )
+        """True when every expected engine delivered its final snapshot."""
+        if self.recovering:
+            return False
+        if self.engines_reporting <= 0:
+            return False
+        if (
+            self.expected_engines is not None
+            and self.engines_reporting < self.expected_engines
+        ):
+            return False
+        return self.final_engines == self.engines_reporting
 
 
 class AIDAManagerService:
@@ -93,12 +106,22 @@ class AIDAManagerService:
         self.fan_in = fan_in
         self._snapshots: Dict[str, Dict[str, Snapshot]] = {}
         self._run_ids: Dict[str, int] = {}
+        #: Engines banned per session: contributions from a dead engine's
+        #: epoch are discarded and any late (zombie) submissions dropped,
+        #: so re-processed partitions are never double-counted.
+        self._banned: Dict[str, set] = {}
+        #: Expected engine count per session (None = untracked).
+        self._expected: Dict[str, int] = {}
+        #: Sessions currently mid-recovery.
+        self._recovering: Dict[str, bool] = {}
         #: (session_id, n_trees, latency) per merge, for the benchmarks.
         self.merge_log: List[tuple] = []
 
     # -- ingestion ----------------------------------------------------------
     def submit_snapshot(self, session_id: str, snapshot: Snapshot) -> None:
         """Accept an engine snapshot (latest-per-engine, current run only)."""
+        if snapshot.engine_id in self._banned.get(session_id, ()):
+            return  # late submission from a dead engine's epoch
         current_run = self._run_ids.get(session_id, 0)
         if snapshot.run_id > current_run:
             # A rewind happened: everything older is now invalid.
@@ -125,10 +148,39 @@ class AIDAManagerService:
             self._run_ids[session_id] = run_id
             self._snapshots[session_id] = {}
 
+    # -- failure recovery ---------------------------------------------------
+    def discard_engine(self, session_id: str, engine_id: str) -> None:
+        """Drop a dead engine's stored snapshots and ban future ones.
+
+        The ban is what keeps merged histograms exactly correct under
+        recovery: a hung or zombie engine may still submit snapshots for a
+        partition that has been re-dispatched elsewhere, and those must
+        never reach the merge.
+        """
+        self._snapshots.get(session_id, {}).pop(engine_id, None)
+        self._banned.setdefault(session_id, set()).add(engine_id)
+
+    def banned_engines(self, session_id: str) -> set:
+        """Engines whose contributions are discarded for this session."""
+        return set(self._banned.get(session_id, ()))
+
+    def set_expected_engines(self, session_id: str, count: int) -> None:
+        """Declare how many engines the session expects results from."""
+        if count < 0:
+            raise MergeError("expected engine count must be >= 0")
+        self._expected[session_id] = count
+
+    def set_recovering(self, session_id: str, flag: bool) -> None:
+        """Mark the session as (not) mid-recovery; gates ``complete``."""
+        self._recovering[session_id] = bool(flag)
+
     def drop_session(self, session_id: str) -> None:
-        """Forget a session's snapshots (session close)."""
+        """Forget a session's snapshots (session close); idempotent."""
         self._snapshots.pop(session_id, None)
         self._run_ids.pop(session_id, None)
+        self._banned.pop(session_id, None)
+        self._expected.pop(session_id, None)
+        self._recovering.pop(session_id, None)
 
     # -- merge model ----------------------------------------------------------
     def merge_latency(self, n_trees: int) -> float:
@@ -173,6 +225,8 @@ class AIDAManagerService:
                     {s.analysis_version for s in session.values()}
                 ),
                 merged_at=self.env.now,
+                expected_engines=self._expected.get(session_id),
+                recovering=self._recovering.get(session_id, False),
             )
             self.merge_log.append((session_id, len(session), latency))
             return merged_tree.to_dict(), progress

@@ -24,6 +24,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.resilience.retry import RetryPolicy
 from repro.sim import Environment, Process
 
 
@@ -85,8 +86,8 @@ class ServiceContainer:
             ),
         }
         self._valid_tokens: set = set()
-        #: operation key -> exception to raise (fault injection).
-        self._injected_faults: Dict[str, Exception] = {}
+        #: operation key -> [exception, remaining count or None].
+        self._injected_faults: Dict[str, list] = {}
         #: Completed calls, for diagnostics: (service, operation, channel).
         self.call_log: list = []
 
@@ -111,6 +112,13 @@ class ServiceContainer:
         """Names of registered services."""
         return sorted(self._services)
 
+    def operations(self, service_name: str) -> list:
+        """Operation names of one registered service."""
+        operations = self._services.get(service_name)
+        if operations is None:
+            raise ServiceError(f"unknown service {service_name!r}")
+        return sorted(operations)
+
     # -- tokens ------------------------------------------------------------
     def issue_token(self, token: str) -> None:
         """Mark *token* as a valid session token for the RMI channel."""
@@ -122,10 +130,21 @@ class ServiceContainer:
 
     # -- fault injection -------------------------------------------------------
     def inject_fault(
-        self, service: str, operation: str, error: Exception
+        self,
+        service: str,
+        operation: str,
+        error: Exception,
+        count: Optional[int] = None,
     ) -> None:
-        """Make the next calls to (service, operation) raise *error*."""
-        self._injected_faults[f"{service}.{operation}"] = error
+        """Make calls to (service, operation) raise *error*.
+
+        With ``count=None`` (the default) the fault persists until
+        :meth:`clear_fault`; with an integer it is transient — consumed by
+        the next *count* calls, after which the operation recovers.
+        """
+        if count is not None and count < 1:
+            raise ValueError("count must be >= 1 (or None for persistent)")
+        self._injected_faults[f"{service}.{operation}"] = [error, count]
 
     def clear_fault(self, service: str, operation: str) -> None:
         """Remove an injected fault (idempotent)."""
@@ -139,14 +158,38 @@ class ServiceContainer:
         args: Optional[dict] = None,
         channel: str = "soap",
         token: Optional[str] = None,
+        retry: Optional["RetryPolicy"] = None,
     ) -> Process:
         """Invoke an operation; returns a waitable simulation process.
 
         The process value is the operation's return value.  Transport and
         application errors fail the process (raise at the ``yield`` site).
+        With a *retry* policy, :class:`Fault` responses are retried under
+        its backoff schedule (the whole request is re-sent); transport
+        errors (:class:`ServiceError`) are never retried.
         """
         envelope = Envelope(service, operation, dict(args or {}), channel, token)
-        return self.env.process(self._dispatch(envelope))
+        if retry is None:
+            return self.env.process(self._dispatch(envelope))
+        return self.env.process(self._dispatch_with_retry(envelope, retry))
+
+    def _dispatch_with_retry(self, envelope: Envelope, retry: "RetryPolicy"):
+        start = self.env.now
+        last_fault: Optional[Fault] = None
+        for attempt in range(retry.max_attempts):
+            try:
+                result = yield self.env.process(self._dispatch(envelope))
+                return result
+            except Fault as fault:
+                last_fault = fault
+                if not retry.should_retry(attempt, self.env.now - start):
+                    break
+                yield self.env.timeout(
+                    retry.delay(
+                        attempt, salt=(envelope.service, envelope.operation)
+                    )
+                )
+        raise last_fault
 
     def _dispatch(self, envelope: Envelope):
         spec = self._channels.get(envelope.channel)
@@ -167,11 +210,16 @@ class ServiceContainer:
                 f"service {envelope.service!r} has no operation "
                 f"{envelope.operation!r}"
             )
-        injected = self._injected_faults.get(
-            f"{envelope.service}.{envelope.operation}"
-        )
+        key = f"{envelope.service}.{envelope.operation}"
+        injected = self._injected_faults.get(key)
         if injected is not None:
-            raise injected
+            error, remaining = injected
+            if remaining is not None:
+                if remaining <= 1:
+                    del self._injected_faults[key]
+                else:
+                    injected[1] = remaining - 1
+            raise error
 
         result = handler(**envelope.args)
         if inspect.isgenerator(result):

@@ -41,6 +41,10 @@ class WorkerRegistryService:
         self.env = env
         self._engines: Dict[str, Dict[str, EngineReference]] = {}
         self._waiters: Dict[str, List[tuple]] = {}
+        #: (session_id, engine_id) -> simulated time of the last heartbeat.
+        #: Survives deregistration so a monitor can still inspect the final
+        #: beat of a dead engine.
+        self._heartbeats: Dict[tuple, float] = {}
 
     # -- engine side ---------------------------------------------------------
     def register(self, reference: EngineReference) -> None:
@@ -58,10 +62,20 @@ class WorkerRegistryService:
         """Remove an engine (engine shutdown); idempotent."""
         self._engines.get(session_id, {}).pop(engine_id, None)
 
+    def heartbeat(self, session_id: str, engine_id: str) -> None:
+        """Record a liveness beat from an engine at the current time."""
+        self._heartbeats[(session_id, engine_id)] = self.env.now
+
+    def last_heartbeat(self, session_id: str, engine_id: str) -> Optional[float]:
+        """Simulated time of the engine's last beat, or ``None``."""
+        return self._heartbeats.get((session_id, engine_id))
+
     def drop_session(self, session_id: str) -> None:
-        """Forget every engine of a session (session close)."""
+        """Forget every engine of a session (session close); idempotent."""
         self._engines.pop(session_id, None)
         self._waiters.pop(session_id, None)
+        for key in [k for k in self._heartbeats if k[0] == session_id]:
+            del self._heartbeats[key]
 
     # -- session side ---------------------------------------------------------
     def engines(self, session_id: str) -> List[EngineReference]:

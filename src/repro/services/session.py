@@ -11,7 +11,9 @@ context of this session" (§3.2).  The session service:
    scatter → per-engine load directives),
 4. stages/reloads analysis code through the managing class loader,
 5. fans out run/pause/stop/rewind/step controls,
-6. shuts everything down at session close ("the analysis engines ... should
+6. monitors engine heartbeats and recovers from worker failures by
+   re-staging orphaned partitions to a spare or surviving engine,
+7. shuts everything down at session close ("the analysis engines ... should
    be started for each session and be shutdown at the end of a session",
    §2.3).
 
@@ -19,12 +21,24 @@ context of this session" (§3.2).  The session service:
 with the worker registry, then serves directives from its mailbox, charging
 simulated time for staging/compute while doing the *real* event processing
 through :class:`~repro.engine.engine.AnalysisEngine`.
+
+Failure model
+-------------
+Engines beat into the registry every ``heartbeat_interval`` seconds.  The
+session's monitor loop treats a silent engine (crash, hang, or severed
+link) as dead after ``heartbeat_timeout``: the engine is *quarantined* —
+its AIDA contributions discarded and future (zombie) submissions banned,
+its job cancelled, its partitions marked orphaned — and the orphans are
+re-staged from the storage element and re-dispatched, preferring a spare
+worker and falling back to the least-loaded survivor.  The AIDA manager's
+ban set plus the ``recovering`` gate keep the merged histograms exactly
+equal to a failure-free run.
 """
 
 from __future__ import annotations
 
 import secrets
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
@@ -37,8 +51,10 @@ from repro.engine.engine import AnalysisEngine, Snapshot
 from repro.engine.sandbox import CodeBundle
 from repro.grid.gram import GramGatekeeper, GramSubmission, JobDescription
 from repro.grid.nodes import StorageElement, WorkerNode
+from repro.grid.scheduler import JobState
 from repro.grid.security import Certificate, SecurityContext
-from repro.grid.transfer import GridFTPService
+from repro.grid.transfer import GridFTPService, TransferError
+from repro.resilience.heartbeat import HeartbeatMonitor, RecoveryConfig
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService
 from repro.services.codeloader import ManagingClassLoaderService
@@ -47,7 +63,7 @@ from repro.services.locator import DatasetLocation, LocatorService
 from repro.services.registry import EngineReference, WorkerRegistryService
 from repro.services.splitter import PartDescriptor, SplitterService, StageReport
 from repro.services.wsrf import ResourceHome, ResourceRef
-from repro.sim import Environment, Store
+from repro.sim import Environment, Interrupt, LinkDown, NodeCrash, NodeFailure, NodeHang, Store
 
 
 class SessionError(Exception):
@@ -92,7 +108,17 @@ class EngineHost:
     * ``("load_data", part, content)`` — stage a dataset part;
     * ``("load_code", bundle)`` — (re)load analysis code;
     * ``("control", verb, arg)`` — run/pause/stop/rewind/step;
+    * ``("takeover", part, content, ack, resume)`` — absorb an orphaned
+      partition from a dead engine (failure recovery);
     * ``("shutdown",)`` — leave the loop and deregister.
+
+    With a ``heartbeat_interval`` the host also runs a liveness loop that
+    beats into the registry; the beat stops when the node hangs or its
+    link goes down, which is what the session monitor detects.  The whole
+    directive-handling chain runs inside the *one* job-body process (via
+    ``yield from``), so a single kernel interrupt — a crash or hang
+    injected by the failure injector — takes the entire engine down
+    without leaving orphaned sub-processes behind.
     """
 
     def __init__(
@@ -103,6 +129,7 @@ class EngineHost:
         aida: AIDAManagerService,
         content_store: ContentStore,
         calibration: "Calibration",
+        heartbeat_interval: Optional[float] = None,
     ) -> None:
         self.engine_id = engine_id
         self.session_id = session_id
@@ -110,6 +137,7 @@ class EngineHost:
         self.aida = aida
         self.content_store = content_store
         self.calibration = calibration
+        self.heartbeat_interval = heartbeat_interval
         self.engine = AnalysisEngine(
             engine_id,
             chunk_events=calibration.chunk_events,
@@ -117,6 +145,12 @@ class EngineHost:
         )
         self.mailbox: Optional[Store] = None
         self._part: Optional[PartDescriptor] = None
+        #: Every (part, content, batch) this engine is responsible for —
+        #: the first from ``load_data``, later ones from takeovers.
+        self._owned: List[tuple] = []
+        #: Taken-over parts staged but not yet absorbed into the engine.
+        self._pending: List[tuple] = []
+        self._hb = None
 
     # -- job body ----------------------------------------------------------
     def body(self, env: Environment, worker: WorkerNode):
@@ -132,17 +166,43 @@ class EngineHost:
                 mailbox=self.mailbox,
             )
         )
+        if self.heartbeat_interval:
+            self.registry.heartbeat(self.session_id, self.engine_id)
+            self._hb = env.process(self._heartbeat(env, worker))
         try:
             while True:
                 directive = yield self.mailbox.get()
-                keep_going = yield env.process(
-                    self._handle(env, worker, directive)
-                )
+                keep_going = yield from self._handle(env, worker, directive)
                 if not keep_going:
                     break
+        except Interrupt as intr:
+            if isinstance(intr.cause, NodeHang):
+                # A frozen node: it stops heartbeating but never exits on
+                # its own; only the session monitor's missing-beat
+                # detection notices, and the eventual force-cancel
+                # re-raises the original hang as the job's failure.
+                self._stop_heartbeat()
+                yield env.event()
+            raise
         finally:
+            self._stop_heartbeat()
             self.registry.deregister(self.session_id, self.engine_id)
         return self.engine.cursor
+
+    def _heartbeat(self, env: Environment, worker: WorkerNode):
+        """Beat into the registry until interrupted (engine exit/crash)."""
+        try:
+            while True:
+                yield env.timeout(self.heartbeat_interval)
+                if not worker.link_down:
+                    self.registry.heartbeat(self.session_id, self.engine_id)
+        except Interrupt:
+            return
+
+    def _stop_heartbeat(self) -> None:
+        if self._hb is not None and self._hb.is_alive:
+            self._hb.interrupt("engine-exit")
+        self._hb = None
 
     def _handle(self, env: Environment, worker: WorkerNode, directive: tuple):
         kind = directive[0]
@@ -157,6 +217,8 @@ class EngineHost:
             batch = self.content_store.events_for(
                 content, part.start_event, part.stop_event
             )
+            self._owned = [(part, content, batch)]
+            self._pending = []
             self.engine.load_data(batch)
             return True
         if kind == "load_code":
@@ -164,14 +226,52 @@ class EngineHost:
             yield env.timeout(cal.code_load_s)
             self.engine.load_analysis(bundle.instantiate())
             return True
+        if kind == "takeover":
+            _, part, content, ack, resume = directive
+            yield from self._stage_takeover(env, worker, part, content, ack)
+            if resume:
+                self.engine.controller.run()
+                alive = yield from self._process_loop(env, worker)
+                return alive
+            return True
         if kind == "control":
             _, verb, arg = directive
             self._apply_control(verb, arg)
             if verb in (Command.RUN, Command.STEP):
-                alive = yield env.process(self._process_loop(env, worker))
+                alive = yield from self._process_loop(env, worker)
                 return alive
             return True
         raise SessionError(f"unknown directive {kind!r}")
+
+    def _stage_takeover(self, env, worker, part, content, ack):
+        """Stage an orphaned partition handed over by the session monitor.
+
+        Publishes a fresh *non-final* snapshot before acking, so the AIDA
+        merge counts this engine as in-progress again the instant the
+        monitor may clear the ``recovering`` gate — the merged results can
+        never look complete while a re-dispatched part is unprocessed.
+        """
+        cal = self.calibration
+        yield worker.disk_read(part.size_mb)
+        batch = self.content_store.events_for(
+            content, part.start_event, part.stop_event
+        )
+        self._owned.append((part, content, batch))
+        if self.engine._data is None or self.engine.done:
+            self._absorb((part, content, batch))
+        else:
+            self._pending.append((part, content, batch))
+        yield env.timeout(cal.rmi_latency_s)
+        self.aida.submit_snapshot(
+            self.session_id, self.engine.take_snapshot(final=False)
+        )
+        if ack is not None and not ack.triggered:
+            ack.succeed(self.engine_id)
+
+    def _absorb(self, owned: tuple) -> None:
+        part, _content, batch = owned
+        self._part = part
+        self.engine.load_additional_data(batch)
 
     def _apply_control(self, verb: str, arg) -> None:
         controller = self.engine.controller
@@ -183,6 +283,13 @@ class EngineHost:
             controller.stop()
         elif verb == Command.REWIND:
             controller.rewind()
+            if len(self._owned) > 1:
+                # Rewind over absorbed takeovers: start from the first
+                # owned part and queue the rest again.
+                first = self._owned[0]
+                self._part = first[0]
+                self._pending = list(self._owned[1:])
+                self.engine.load_data(first[2])
         elif verb == Command.STEP:
             controller.step(int(arg))
         else:
@@ -201,8 +308,8 @@ class EngineHost:
             # Absorb any directives that arrived (without blocking).
             while self.mailbox is not None and len(self.mailbox.items):
                 directive = yield self.mailbox.get()
-                keep_going = yield env.process(
-                    self._handle_nested(env, worker, directive)
+                keep_going = yield from self._handle_nested(
+                    env, worker, directive
                 )
                 if not keep_going:
                     return False
@@ -211,17 +318,27 @@ class EngineHost:
             part = self._part
             result = self.engine.process_chunk()
             if result.events > 0 and result.cursor == result.events:
-                # First chunk of a fresh pass (start or just-rewound):
-                # charge the one-off serial overhead — reader
-                # initialization, first-pass caches (part of Table 2's
-                # non-1/N analysis behaviour).
-                yield env.timeout(cal.engine_serial_overhead_s)
+                # First chunk of a fresh pass over a part (start, rewound,
+                # or a just-absorbed takeover): charge the one-off serial
+                # overhead — reader initialization, first-pass caches
+                # (part of Table 2's non-1/N analysis behaviour).
+                yield env.timeout(cal.engine_serial_overhead_s * worker.slow_factor)
             if result.events > 0 and part is not None and part.n_events > 0:
                 chunk_mb = part.size_mb * (result.events / part.n_events)
-                yield env.timeout(chunk_mb * cal.grid_analysis_rate_s_per_mb)
+                yield env.timeout(
+                    chunk_mb * cal.grid_analysis_rate_s_per_mb * worker.slow_factor
+                )
             if result.snapshot is not None:
+                snapshot = result.snapshot
+                if snapshot.final and self._pending:
+                    # The current part is done but taken-over parts are
+                    # still queued: this is not the engine's last word.
+                    snapshot = replace(snapshot, final=False)
                 yield env.timeout(cal.rmi_latency_s)
-                self.aida.submit_snapshot(self.session_id, result.snapshot)
+                self.aida.submit_snapshot(self.session_id, snapshot)
+            if result.done and self._pending:
+                self._absorb(self._pending.pop(0))
+                continue
             if result.done or result.state in ("paused", "stopped", "idle"):
                 return True
 
@@ -234,12 +351,24 @@ class EngineHost:
             _, verb, arg = directive
             self._apply_control(verb, arg)
             return True
-        result = yield env.process(self._handle(env, worker, directive))
+        if kind == "takeover":
+            _, part, content, ack, resume = directive
+            yield from self._stage_takeover(env, worker, part, content, ack)
+            if resume:
+                self.engine.controller.run()
+            return True
+        result = yield from self._handle(env, worker, directive)
         return result
 
 
 class SessionService:
-    """Server-side coordinator of interactive analysis sessions."""
+    """Server-side coordinator of interactive analysis sessions.
+
+    With a :class:`~repro.resilience.heartbeat.RecoveryConfig` the service
+    also runs a per-session monitor loop implementing the failure model
+    documented in the module docstring; without one (the default) its
+    behaviour is identical to the failure-oblivious original.
+    """
 
     def __init__(
         self,
@@ -256,6 +385,7 @@ class SessionService:
         content_store: ContentStore,
         calibration: "Calibration",
         session_lifetime: Optional[float] = None,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         self.env = env
         self.gram = gram
@@ -269,6 +399,7 @@ class SessionService:
         self.storage = storage
         self.content_store = content_store
         self.calibration = calibration
+        self.recovery = recovery
         self.resources = ResourceHome(env, "session", session_lifetime)
         self._sessions: Dict[str, dict] = {}
 
@@ -303,6 +434,9 @@ class SessionService:
         )
         session_id = ref.resource_id
         hosts: Dict[str, EngineHost] = {}
+        heartbeat_interval = (
+            self.recovery.heartbeat_interval if self.recovery else None
+        )
 
         def body_factory(index: int):
             host = EngineHost(
@@ -312,11 +446,12 @@ class SessionService:
                 aida=self.aida,
                 content_store=self.content_store,
                 calibration=self.calibration,
+                heartbeat_interval=heartbeat_interval,
             )
             hosts[host.engine_id] = host
             return host.body
 
-        submission = self.gram.submit(
+        submission = yield from self.gram.submit_with_retry(
             JobDescription("ipa-analysis-engine", count=count),
             credential_chain,
             body_factory,
@@ -325,16 +460,43 @@ class SessionService:
         # "Ready Signal with Reference").
         references = yield self.registry.wait_for(session_id, count)
         token = secrets.token_hex(16)
-        self._sessions[session_id] = {
+        session = {
             "ref": ref,
             "context": context,
+            "chain": list(credential_chain),
             "submission": submission,
+            "spare_submissions": [],
             "hosts": hosts,
+            "dead_hosts": {},
             "references": list(references),
+            "engine_jobs": {
+                f"{session_id}-engine-{index}": job
+                for index, job in enumerate(submission.jobs)
+            },
+            "assignments": {},
+            "orphaned": [],
+            "pending_acks": [],
+            "recoveries": [],
+            "redispatches": [],
             "token": token,
             "dataset": None,
+            "running": False,
+            "closing": False,
             "closed": False,
+            "unrecoverable": False,
+            "next_engine_index": count,
+            "monitor": None,
         }
+        self._sessions[session_id] = session
+        self.aida.set_expected_engines(session_id, count)
+        if self.recovery is not None:
+            monitor = HeartbeatMonitor(
+                self.env, self.registry, session_id, self.recovery
+            )
+            for reference in references:
+                monitor.watch(reference.engine_id)
+            session["monitor"] = monitor
+            self.env.process(self._monitor_loop(session_id))
         self.resources.set_property(ref, "state", "ready")
         return SessionInfo(
             session_id=session_id,
@@ -401,8 +563,13 @@ class SessionService:
             report = yield self.splitter.split_and_scatter(
                 location, workers, strategy=strategy, streams=streams
             )
-        # Hand each engine its part descriptor + the content recipe.
+        # Hand each engine its part descriptor + the content recipe, and
+        # record who owns what (the recovery monitor re-dispatches these
+        # assignments when an engine dies).
+        session["assignments"] = {}
+        session["orphaned"] = []
         for ref, part in zip(references, report.parts):
+            session["assignments"][ref.engine_id] = [(part, entry.content)]
             yield ref.mailbox.put(("load_data", part, entry.content))
 
         staged = StagedDataset(
@@ -459,6 +626,10 @@ class SessionService:
             # stale (complete-looking) data.
             session["rewinds"] = session.get("rewinds", 0) + 1
             self.aida.begin_run(session_id, session["rewinds"])
+        if verb in (Command.RUN, Command.STEP):
+            session["running"] = True
+        elif verb in (Command.PAUSE, Command.STOP):
+            session["running"] = False
         for ref in session["references"]:
             yield ref.mailbox.put(("control", verb, argument))
         return len(session["references"])
@@ -469,18 +640,40 @@ class SessionService:
         session = self._session(session_id)
         dataset = session["dataset"]
         submission = session["submission"]
+        all_jobs = list(submission.jobs)
+        for spare in session["spare_submissions"]:
+            all_jobs.extend(spare.jobs)
         failures = [
             {"job": job.name, "error": str(job.error)}
-            for job in submission.jobs
+            for job in all_jobs
             if job.state == "failed"
+            and not isinstance(job.error, NodeFailure)
+        ]
+        node_failures = [
+            {"job": job.name, "error": str(job.error)}
+            for job in all_jobs
+            if job.state == "failed" and isinstance(job.error, NodeFailure)
         ]
         return {
             "session_id": session_id,
             "owner": session["context"].identity,
             "n_engines": len(session["references"]),
             "dataset": dataset.dataset_id if dataset else None,
-            "job_states": list(submission.states),
+            "job_states": [job.state for job in all_jobs],
             "failures": failures,
+            "node_failures": node_failures,
+            "recoveries": [
+                {
+                    "engine_id": record["engine_id"],
+                    "cause": str(record["cause"]),
+                    "detected_at": record["detected_at"],
+                    "parts": record["parts"],
+                }
+                for record in session["recoveries"]
+            ],
+            "redispatches": list(session["redispatches"]),
+            "orphaned_parts": len(session["orphaned"]),
+            "unrecoverable": session["unrecoverable"],
             "engines": [
                 {
                     "engine_id": host.engine_id,
@@ -494,17 +687,291 @@ class SessionService:
             ],
         }
 
+    # -- failure recovery ---------------------------------------------------
+    def _monitor_loop(self, session_id: str):
+        """Detect dead engines by missing heartbeats and recover.
+
+        One sweep per ``RecoveryConfig.period``: first *every* stale engine
+        is quarantined (so a multi-failure never re-dispatches onto a
+        worker that is itself about to be declared dead), then orphaned
+        partitions are re-dispatched.  Runs until the session closes; while
+        closing it keeps cancelling hung engines so ``close`` can finish,
+        but stops re-dispatching work.
+        """
+        session = self._sessions[session_id]
+        config = self.recovery
+        monitor = session["monitor"]
+        while True:
+            if session["closed"]:
+                return
+            yield self.env.timeout(config.period)
+            if session["closed"]:
+                return
+            suspects = set(monitor.stale())
+            for engine_id in list(monitor.watched):
+                job = session["engine_jobs"].get(engine_id)
+                if (
+                    job is not None
+                    and job.state == JobState.FAILED
+                    and isinstance(job.error, NodeFailure)
+                ):
+                    # Job already reported the node failure; no need to
+                    # wait out the heartbeat timeout.
+                    suspects.add(engine_id)
+            for engine_id in sorted(suspects):
+                job = session["engine_jobs"].get(engine_id)
+                if job is not None and job.state in (
+                    JobState.COMPLETED,
+                    JobState.CANCELLED,
+                    JobState.KILLED,
+                ):
+                    # Normal termination (shutdown/cancel): not a failure.
+                    monitor.unwatch(engine_id)
+                    continue
+                if (
+                    job is not None
+                    and job.state == JobState.FAILED
+                    and not isinstance(job.error, NodeFailure)
+                ):
+                    # The user's analysis crashed — surfaced through
+                    # status()/the client, not recoverable by re-dispatch.
+                    monitor.unwatch(engine_id)
+                    continue
+                self._quarantine(session_id, engine_id)
+            if session["orphaned"] and not session["closing"]:
+                yield self.env.process(self._redispatch(session_id))
+            self._maybe_end_recovery(session_id)
+
+    def _quarantine(self, session_id: str, engine_id: str) -> dict:
+        """Declare an engine dead: ban its results, orphan its partitions."""
+        session = self._sessions[session_id]
+        monitor = session["monitor"]
+        if monitor is not None:
+            monitor.unwatch(engine_id)
+        job = session["engine_jobs"].get(engine_id)
+        cause = (
+            job.error
+            if job is not None and isinstance(job.error, NodeFailure)
+            else NodeCrash(engine_id, "heartbeat timeout")
+        )
+        # Gate `complete` first, then drop the dead engine's epoch from the
+        # merge — zombie submissions are banned from here on.
+        self.aida.set_recovering(session_id, True)
+        self.aida.discard_engine(session_id, engine_id)
+        self.registry.deregister(session_id, engine_id)
+        session["references"] = [
+            ref for ref in session["references"] if ref.engine_id != engine_id
+        ]
+        self.aida.set_expected_engines(session_id, len(session["references"]))
+        host = session["hosts"].pop(engine_id, None)
+        if host is not None:
+            session["dead_hosts"][engine_id] = host
+        orphaned = session["assignments"].pop(engine_id, [])
+        session["orphaned"].extend(orphaned)
+        record = {
+            "engine_id": engine_id,
+            "cause": cause,
+            "detected_at": self.env.now,
+            "parts": len(orphaned),
+        }
+        session["recoveries"].append(record)
+        if job is not None and job.state not in JobState.TERMINAL:
+            self.gram.scheduler.cancel(job.id, cause)
+        return record
+
+    def _redispatch(self, session_id: str):
+        """Re-stage and re-dispatch orphaned partitions (generator).
+
+        Prefers starting a fresh engine on a spare worker (parallelism is
+        preserved); falls back to handing the part to the least-loaded
+        surviving engine.  Each part is re-staged from the storage element
+        through GridFTP before the takeover directive is sent.
+        """
+        session = self._sessions[session_id]
+        config = self.recovery
+        while (
+            session["orphaned"]
+            and not session["closing"]
+            and not session["closed"]
+        ):
+            target: Optional[EngineReference] = None
+            if self.gram.scheduler.available_worker_count > 0:
+                target = yield from self._start_spare(session_id)
+            if target is None:
+                live = session["references"]
+                if not live:
+                    session["unrecoverable"] = True
+                    self.resources.set_property(
+                        session["ref"], "state", "failed"
+                    )
+                    return
+                target = min(
+                    live,
+                    key=lambda ref: (
+                        len(session["assignments"].get(ref.engine_id, [])),
+                        ref.engine_id,
+                    ),
+                )
+            worker = self.gram.scheduler.element.worker(target.worker)
+            part, content = session["orphaned"][0]
+            dataset = session["dataset"]
+            dataset_id = dataset.dataset_id if dataset else session_id
+            try:
+                yield self.ftp.transfer_file(
+                    self.storage,
+                    worker,
+                    f"{dataset_id}.part{part.part_index}.redispatch",
+                    part.size_mb,
+                    read_disk=True,
+                    write_disk=True,
+                )
+            except (TransferError, LinkDown):
+                # Could not reach the target; leave the part orphaned for
+                # the next sweep (the target will be quarantined if it is
+                # the one that died).
+                return
+            # Record the assignment *before* waiting for the ack: if the
+            # target dies mid-takeover its quarantine re-orphans the part.
+            session["orphaned"].pop(0)
+            session["assignments"].setdefault(target.engine_id, []).append(
+                (part, content)
+            )
+            session["redispatches"].append(
+                {
+                    "part": part.part_index,
+                    "to": target.engine_id,
+                    "at": self.env.now,
+                }
+            )
+            ack = self.env.event()
+            session["pending_acks"].append(ack)
+            yield target.mailbox.put(
+                ("takeover", part, content, ack, session["running"])
+            )
+            timeout = self.env.timeout(config.dispatch_ack_timeout)
+            yield self.env.any_of([ack, timeout])
+            if not ack.triggered:
+                # Target went silent mid-takeover; the monitor's next
+                # sweep will quarantine it and re-orphan the part.
+                return
+        self._maybe_end_recovery(session_id)
+
+    def _maybe_end_recovery(self, session_id: str) -> None:
+        """Clear the AIDA ``recovering`` gate once recovery truly ended.
+
+        "Ended" means no orphaned parts remain *and* every dispatched
+        takeover was acknowledged (the target published a non-final
+        snapshot), so ``MergeProgress.complete`` cannot flip true while a
+        re-staged partition is still unaccounted for.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            return
+        session["pending_acks"] = [
+            ack for ack in session["pending_acks"] if not ack.triggered
+        ]
+        if not session["orphaned"] and not session["pending_acks"]:
+            self.aida.set_recovering(session_id, False)
+
+    def _start_spare(self, session_id: str):
+        """Submit a replacement engine on a spare worker (generator).
+
+        Returns its :class:`EngineReference`, or ``None`` when no spare
+        came up within ``RecoveryConfig.spare_timeout`` (the caller then
+        falls back to a surviving engine).
+        """
+        session = self._sessions[session_id]
+        config = self.recovery
+        index = session["next_engine_index"]
+        session["next_engine_index"] = index + 1
+        engine_id = f"{session_id}-engine-{index}"
+        host = EngineHost(
+            engine_id=engine_id,
+            session_id=session_id,
+            registry=self.registry,
+            aida=self.aida,
+            content_store=self.content_store,
+            calibration=self.calibration,
+            heartbeat_interval=config.heartbeat_interval,
+        )
+        try:
+            submission = self.gram.submit(
+                JobDescription("ipa-analysis-engine", count=1),
+                session["chain"],
+                lambda _index: host.body,
+            )
+        except Exception:
+            return None
+        session["spare_submissions"].append(submission)
+        session["engine_jobs"][engine_id] = submission.jobs[0]
+        deadline = self.env.now + config.spare_timeout
+        while True:
+            refs = {
+                ref.engine_id: ref for ref in self.registry.engines(session_id)
+            }
+            if engine_id in refs:
+                reference = refs[engine_id]
+                break
+            if self.env.now >= deadline:
+                self.gram.cancel(submission, "spare-timeout")
+                return None
+            arrival = self.registry.wait_for(
+                session_id, self.registry.count(session_id) + 1
+            )
+            timeout = self.env.timeout(deadline - self.env.now)
+            yield self.env.any_of([arrival, timeout])
+        session["hosts"][engine_id] = host
+        session["references"].append(reference)
+        self.aida.set_expected_engines(session_id, len(session["references"]))
+        if session["monitor"] is not None:
+            session["monitor"].watch(engine_id)
+        # Ship the session's current analysis code to the newcomer.
+        try:
+            bundle = self.codeloader.current(session_id)
+        except Exception:
+            bundle = None
+        if bundle is not None:
+            worker = self.gram.scheduler.element.worker(reference.worker)
+            yield self.codeloader.stage(session_id, bundle, [worker])
+            yield reference.mailbox.put(("load_code", bundle))
+        return reference
+
     # -- shutdown ------------------------------------------------------------
     def close(self, session_id: str):
         """End the session: shut engines down, cancel jobs, free the
-        resource (generator operation)."""
-        session = self._session(session_id)
-        for ref in session["references"]:
+        resource (generator operation).  Idempotent, and safe when engines
+        are dead or hung — stragglers are force-cancelled after the
+        recovery grace period instead of deadlocking the close.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"no active session {session_id!r}")
+        if session["closed"]:
+            return True
+        session["closing"] = True
+        for ref in list(session["references"]):
             yield ref.mailbox.put(("shutdown",))
         # Engines drain their mailboxes and exit; wait for the jobs to end,
         # then cancel any stragglers (idempotent on completed jobs).
-        yield session["submission"].all_done
+        done_events = [session["submission"].all_done] + [
+            spare.all_done for spare in session["spare_submissions"]
+        ]
+        all_done = self.env.all_of(done_events)
+        if self.recovery is None:
+            yield all_done
+        else:
+            grace = self.env.timeout(self.recovery.close_grace)
+            yield self.env.any_of([all_done, grace])
+            if not all_done.triggered:
+                # A hung engine never read its shutdown directive and the
+                # monitor has not (yet) cancelled it: force the issue.
+                self.gram.cancel(session["submission"], "session-end")
+                for spare in session["spare_submissions"]:
+                    self.gram.cancel(spare, "session-end")
+                yield all_done
         self.gram.cancel(session["submission"], "session-end")
+        for spare in session["spare_submissions"]:
+            self.gram.cancel(spare, "session-end")
         self.registry.drop_session(session_id)
         self.codeloader.drop_session(session_id)
         self.aida.drop_session(session_id)

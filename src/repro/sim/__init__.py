@@ -21,9 +21,20 @@ Public API
     Shared-resource primitives with queueing.
 ``Interrupt``
     Exception raised inside a process that another process interrupted.
+``NodeFailure``, ``NodeCrash``, ``NodeHang``, ``LinkDown``
+    Typed infrastructure-failure causes used by the fault-injection and
+    recovery subsystem (:mod:`repro.resilience`).
 """
 
-from repro.sim.errors import Interrupt, SimulationError, StopSimulation
+from repro.sim.errors import (
+    Interrupt,
+    LinkDown,
+    NodeCrash,
+    NodeFailure,
+    NodeHang,
+    SimulationError,
+    StopSimulation,
+)
 from repro.sim.kernel import (
     AllOf,
     AnyOf,
@@ -41,6 +52,10 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "LinkDown",
+    "NodeCrash",
+    "NodeFailure",
+    "NodeHang",
     "PriorityResource",
     "Process",
     "Resource",

@@ -37,3 +37,41 @@ class Interrupt(Exception):
     def cause(self) -> Any:
         """The cause passed to :meth:`Process.interrupt`."""
         return self.args[0] if self.args else None
+
+
+class NodeFailure(SimulationError):
+    """Base class for simulated infrastructure failures.
+
+    Used as the *cause* of kernel interrupts (and raised directly by the
+    network layer) so every consumer — scheduler, session service, tests —
+    can distinguish infrastructure loss from application errors by type
+    instead of comparing bare interrupt-cause strings.
+
+    Parameters
+    ----------
+    node:
+        Name of the failed node (or link, for :class:`LinkDown`).
+    detail:
+        Optional human-readable context.
+    """
+
+    def __init__(self, node: str, detail: str = "") -> None:
+        message = f"{type(self).__name__}({node!r})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.node = node
+        self.detail = detail
+
+
+class NodeCrash(NodeFailure):
+    """The node died abruptly: its processes stop and never come back."""
+
+
+class NodeHang(NodeFailure):
+    """The node froze: its processes stop making progress but the job
+    never terminates — only missing heartbeats reveal the failure."""
+
+
+class LinkDown(NodeFailure):
+    """A network link went down; in-flight flows crossing it fail."""

@@ -22,6 +22,7 @@ import pytest
 
 from repro.bench.tables import ComparisonTable, format_seconds
 from repro.core.experiment import run_grid_experiment, run_local_experiment
+from repro.obs.exporters import phase_summary, phase_totals
 
 SIZE_MB = 471.0
 NODES = 16
@@ -29,7 +30,7 @@ NODES = 16
 
 def run_both():
     grid = run_grid_experiment(
-        SIZE_MB, NODES, events_per_mb=5, collect_tree=False
+        SIZE_MB, NODES, events_per_mb=5, collect_tree=False, observability=True
     )
     local = run_local_experiment(SIZE_MB)
     return local, grid
@@ -68,8 +69,22 @@ def test_table1(benchmark, report):
     report(
         "table1",
         table.render()
-        + f"\nend-to-end grid speedup: {speedup:.1f}x (paper: ~10x)",
+        + f"\nend-to-end grid speedup: {speedup:.1f}x (paper: ~10x)"
+        + "\n\n"
+        + phase_summary(
+            grid.obs.tracer, title="telemetry per-phase summary (grid run)"
+        ),
     )
+
+    # The trace-derived phase totals must reconcile exactly with the
+    # breakdown the table was built from: the spans are opened and closed
+    # at the very measuring points the driver reads the clock at.
+    totals = phase_totals(grid.obs.tracer)
+    assert totals["move_whole"] == pytest.approx(grid.move_whole, abs=1e-9)
+    assert totals["split"] == pytest.approx(grid.split, abs=1e-9)
+    assert totals["move_parts"] == pytest.approx(grid.move_parts, abs=1e-9)
+    assert totals["stage_code"] == pytest.approx(grid.stage_code, abs=1e-9)
+    assert totals["analysis"] == pytest.approx(grid.analysis, abs=1e-9)
 
     # Shape assertions: who wins and by roughly what factor.
     assert local.download == pytest.approx(32 * 60, rel=0.05)

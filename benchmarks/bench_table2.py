@@ -18,6 +18,7 @@ import pytest
 
 from repro.bench.tables import ComparisonTable
 from repro.core.experiment import run_grid_experiment
+from repro.obs.exporters import phase_totals
 
 SIZE_MB = 471.0
 NODE_COUNTS = (1, 2, 4, 8, 16)
@@ -32,7 +33,9 @@ PAPER = {
 
 def sweep():
     return {
-        n: run_grid_experiment(SIZE_MB, n, events_per_mb=4, collect_tree=False)
+        n: run_grid_experiment(
+            SIZE_MB, n, events_per_mb=4, collect_tree=False, observability=True
+        )
         for n in NODE_COUNTS
     }
 
@@ -47,12 +50,24 @@ def test_table2(benchmark, report):
     for n in NODE_COUNTS:
         paper = PAPER[n]
         grid = results[n]
+        # The measured column comes from *telemetry* (the run's trace),
+        # which must reconcile with the driver's own clock readings.
+        totals = phase_totals(grid.obs.tracer)
+        for phase, measured in (
+            ("move_whole", grid.move_whole),
+            ("split", grid.split),
+            ("move_parts", grid.move_parts),
+            ("analysis", grid.analysis),
+        ):
+            assert totals[phase] == pytest.approx(measured, abs=1e-9), (
+                f"{phase} telemetry diverges from breakdown at n={n}"
+            )
         table.add_row(
             n,
-            f"{paper[0]} -> {grid.move_whole:.0f}",
-            f"{paper[1]} -> {grid.split:.0f}",
-            f"{paper[2]} -> {grid.move_parts:.0f}",
-            f"{paper[3]} -> {grid.analysis:.0f}",
+            f"{paper[0]} -> {totals['move_whole']:.0f}",
+            f"{paper[1]} -> {totals['split']:.0f}",
+            f"{paper[2]} -> {totals['move_parts']:.0f}",
+            f"{paper[3]} -> {totals['analysis']:.0f}",
         )
     report("table2", table.render())
 

@@ -23,6 +23,7 @@ from repro.core.site import GridSite, SiteConfig
 from repro.client.client import IPAClient
 from repro.engine.runner import run_local
 from repro.engine.sandbox import CodeBundle
+from repro.obs import Observability
 from repro.services.content import ContentStore
 
 
@@ -43,6 +44,9 @@ class GridBreakdown:
     stage_code: float
     analysis: float
     tree: Optional[ObjectTree] = field(default=None, repr=False)
+    #: The site's observability layer (tracer + metrics) when the run was
+    #: made with ``observability=True``; ``None`` otherwise.
+    obs: Optional[Observability] = field(default=None, repr=False)
 
     @property
     def stage_dataset(self) -> float:
@@ -92,6 +96,7 @@ def run_grid_experiment(
     poll_interval: float = 5.0,
     content_seed: int = 500,
     collect_tree: bool = True,
+    observability: bool = False,
 ) -> GridBreakdown:
     """Run the full grid pipeline once and return its phase breakdown.
 
@@ -105,9 +110,18 @@ def run_grid_experiment(
         event count).
     analysis_source, analysis_parameters:
         The staged user code (defaults to the Higgs search).
+    observability:
+        Trace the whole run (one span tree rooted at ``session``) and
+        record metrics; the layer is then returned on ``GridBreakdown.obs``
+        for export/reconciliation.
     """
     site = GridSite(
-        SiteConfig(n_workers=n_nodes, merge_fan_in=merge_fan_in), calibration
+        SiteConfig(
+            n_workers=n_nodes,
+            merge_fan_in=merge_fan_in,
+            enable_observability=observability,
+        ),
+        calibration,
     )
     n_events = _default_events(size_mb, events_per_mb)
     site.register_dataset(
@@ -131,10 +145,14 @@ def run_grid_experiment(
         analysis=0.0,
     )
 
+    tracer = site.obs.tracer
+
     def scenario():
         env = site.env
         start = env.now
+        setup_span = tracer.child("phase.session_setup", phase="session_setup")
         yield from client.obtain_proxy_and_connect(n_engines=n_nodes)
+        setup_span.finish()
         breakdown.session_setup = env.now - start
 
         staged = yield from client.select_dataset(
@@ -149,14 +167,23 @@ def run_grid_experiment(
         )
 
         run_started = env.now
+        analysis_span = tracer.child("phase.analysis", phase="analysis")
         yield from client.run()
         result = yield from client.wait_for_completion(poll_interval=poll_interval)
+        analysis_span.finish()
         breakdown.analysis = env.now - run_started
         if collect_tree:
             breakdown.tree = result.tree
         yield from client.close()
 
-    site.env.run(until=site.env.process(scenario()))
+    # The root of the session's single trace tree: every service call made
+    # by the client propagates this context through its envelope.
+    root = tracer.trace_gen(
+        "session", scenario(), size_mb=size_mb, n_nodes=n_nodes
+    )
+    site.env.run(until=site.env.process(root))
+    if observability:
+        breakdown.obs = site.obs
     return breakdown
 
 

@@ -40,6 +40,7 @@ from repro.grid.security import (
     VirtualOrganization,
 )
 from repro.grid.transfer import GridFTPService
+from repro.obs import Observability
 from repro.resilience import FailureInjector, RecoveryConfig, RetryPolicy
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService, DatasetEntry
@@ -79,6 +80,10 @@ class SiteConfig:
     retry_jitter / retry_seed:
         Deterministic jitter applied to the site's GridFTP retry backoff
         (de-synchronizes concurrent retries without losing repeatability).
+    enable_observability:
+        Record spans and metrics across every tier (see :mod:`repro.obs`).
+        Off by default: instrumentation then routes through shared null
+        objects and costs almost nothing.
     """
 
     n_workers: int = 16
@@ -90,6 +95,7 @@ class SiteConfig:
     heartbeat_timeout: float = 20.0
     retry_jitter: float = 0.25
     retry_seed: int = 0
+    enable_observability: bool = False
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -109,6 +115,7 @@ class GridSite:
         cal = calibration
         self.env = Environment()
         env = self.env
+        self.obs = Observability(env, enabled=config.enable_observability)
 
         # -- network ---------------------------------------------------
         net = Network(env)
@@ -185,7 +192,7 @@ class GridSite:
 
         # -- scheduler + security ----------------------------------------
         self.element = ComputeElement("slac-osg", self.workers)
-        self.scheduler = BatchScheduler(env, self.element)
+        self.scheduler = BatchScheduler(env, self.element, obs=self.obs)
         self.scheduler.add_queue(
             QueueSpec(
                 "interactive",
@@ -218,6 +225,7 @@ class GridSite:
             self.ca,
             self.authz,
             auth_overhead=cal.gram_auth_overhead_s,
+            obs=self.obs,
         )
 
         # -- transfer + services --------------------------------------------
@@ -233,9 +241,13 @@ class GridSite:
                 jitter=config.retry_jitter,
                 seed=config.retry_seed,
             ),
+            obs=self.obs,
         )
         self.container = ServiceContainer(
-            env, soap_latency=cal.soap_latency_s, rmi_latency=cal.rmi_latency_s
+            env,
+            soap_latency=cal.soap_latency_s,
+            rmi_latency=cal.rmi_latency_s,
+            obs=self.obs,
         )
         self.catalog = DatasetCatalogService()
         self.locator = LocatorService()
@@ -245,15 +257,21 @@ class GridSite:
             self.ftp,
             split_rate=cal.split_rate_s_per_mb,
             per_file_overhead=cal.split_per_file_overhead_s,
+            obs=self.obs,
         )
-        self.registry = WorkerRegistryService(env)
+        self.registry = WorkerRegistryService(env, obs=self.obs)
         self.codeloader = ManagingClassLoaderService(
-            env, self.manager, self.ftp, stage_overhead=cal.code_stage_overhead_s
+            env,
+            self.manager,
+            self.ftp,
+            stage_overhead=cal.code_stage_overhead_s,
+            obs=self.obs,
         )
         self.aida = AIDAManagerService(
             env,
             merge_cost_per_tree=cal.merge_cost_per_tree_s,
             fan_in=config.merge_fan_in,
+            obs=self.obs,
         )
         self.content_store = ContentStore()
         self.session_service = SessionService(
@@ -278,6 +296,7 @@ class GridSite:
                 if config.enable_recovery
                 else None
             ),
+            obs=self.obs,
         )
         # Deterministic fault injection for chaos tests and benchmarks.
         self.injector = FailureInjector(env, self.scheduler, network=net)

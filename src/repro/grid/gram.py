@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Generator, List, Optional, Sequence
 
 from repro.grid.scheduler import BatchScheduler, Job, JobState
+from repro.obs import NULL_OBS, Observability
 from repro.grid.security import (
     AuthorizationService,
     Certificate,
@@ -98,10 +99,12 @@ class GramGatekeeper:
         ca: CertificateAuthority,
         authz: AuthorizationService,
         auth_overhead: float = 0.5,
+        obs: Optional["Observability"] = None,
     ) -> None:
         if auth_overhead < 0:
             raise ValueError("auth_overhead must be >= 0")
         self.env = env
+        self.obs = obs or NULL_OBS
         self.scheduler = scheduler
         self.ca = ca
         self.authz = authz
@@ -144,8 +147,17 @@ class GramGatekeeper:
         SecurityError
             On authentication/authorization failure.
         """
+        span = self.obs.tracer.child(
+            "gram.submit",
+            executable=description.executable,
+            count=description.count,
+        )
         if self._pending_failures > 0:
             self._pending_failures -= 1
+            self.obs.metrics.counter(
+                "gram_unavailable_total", "Transient gatekeeper outages hit"
+            ).inc()
+            span.finish(error="gatekeeper temporarily unavailable")
             raise GramUnavailable("gatekeeper temporarily unavailable")
         identity = self.ca.validate_chain(credential_chain, self.env.now)
         policy = self.authz.authorize(identity)
@@ -174,6 +186,10 @@ class GramGatekeeper:
             jobs=jobs,
             all_done=self.env.all_of([job.done for job in jobs]),
         )
+        span.finish(request_id=request_id, queue=queue)
+        self.obs.metrics.counter(
+            "gram_submissions_total", "Accepted GRAM submissions"
+        ).inc(queue=queue)
         return submission
 
     def submit_with_retry(

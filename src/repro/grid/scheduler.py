@@ -24,6 +24,7 @@ from itertools import count
 from typing import Callable, Dict, Generator, List, Optional
 
 from repro.grid.nodes import ComputeElement, WorkerNode
+from repro.obs import NULL_OBS, Observability
 from repro.sim import Environment, Event, Interrupt, NodeFailure, Process
 
 
@@ -118,9 +119,15 @@ class Job:
 class BatchScheduler:
     """Multi-queue scheduler over a :class:`ComputeElement`'s workers."""
 
-    def __init__(self, env: Environment, element: ComputeElement) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        element: ComputeElement,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.env = env
         self.element = element
+        self.obs = obs or NULL_OBS
         self._queues: Dict[str, QueueSpec] = {}
         self._pending: List[Job] = []
         self._job_seq = count(1)
@@ -249,6 +256,13 @@ class BatchScheduler:
         job.start_time = self.env.now
         job.worker = worker
         worker.engine_id = f"job-{job.id}"
+        self.obs.metrics.histogram(
+            "scheduler_queue_wait_seconds",
+            "Queue wait from job submit to dispatch (simulated seconds)",
+        ).observe(job.wait_time, queue=job.queue)
+        self.obs.metrics.counter(
+            "scheduler_jobs_started_total", "Jobs dispatched to a worker"
+        ).inc(queue=job.queue)
         body_proc = self.env.process(job.body(self.env, worker))
         job._process = body_proc
 
@@ -300,5 +314,8 @@ class BatchScheduler:
     def _finish(self, job: Job, state: str) -> None:
         job.state = state
         job.end_time = self.env.now
+        self.obs.metrics.counter(
+            "scheduler_jobs_finished_total", "Jobs reaching a terminal state"
+        ).inc(queue=job.queue, state=state)
         if not job.done.triggered:
             job.done.succeed(job)

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.grid.network import Network, TransferStats
 from repro.grid.nodes import Node, StorageElement
+from repro.obs import NULL_OBS, Observability
 from repro.resilience.retry import RetryPolicy
 from repro.sim import Environment, LinkDown, Process
 
@@ -92,6 +93,7 @@ class GridFTPService:
         stream_rate: Optional[float] = None,
         streams: int = 1,
         retry_policy: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if setup_overhead < 0:
             raise ValueError("setup_overhead must be >= 0")
@@ -107,6 +109,7 @@ class GridFTPService:
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=3, base_delay=1.0, multiplier=2.0, max_delay=30.0
         )
+        self.obs = obs or NULL_OBS
         #: Completed transfers, newest last (for tests/diagnostics).
         self.log: List[TransferStats] = []
         #: Remaining injected transient failures (consumed per attempt).
@@ -194,15 +197,35 @@ class GridFTPService:
             self.log.append(stats)
             return stats
 
+        metrics = self.obs.metrics
+        span = self.obs.tracer.start(
+            "ftp.transfer", file=name, src=src.name, dst=dst.name, mb=size_mb
+        )
+
         def run():
             start = self.env.now
             last_error: Optional[Exception] = None
             for attempt_index in range(policy.max_attempts):
                 try:
                     stats = yield self.env.process(attempt())
+                    span.set(attempts=attempt_index + 1)
+                    metrics.counter(
+                        "ftp_transfers_total", "Completed GridFTP transfers"
+                    ).inc()
+                    metrics.counter(
+                        "ftp_bytes_mb_total", "Payload moved over GridFTP (MB)"
+                    ).inc(size_mb)
+                    metrics.histogram(
+                        "ftp_transfer_seconds",
+                        "GridFTP transfer duration incl. retries (simulated)",
+                    ).observe(self.env.now - start)
                     return stats
                 except (TransferError, LinkDown) as exc:
                     last_error = exc
+                    metrics.counter(
+                        "ftp_retries_total",
+                        "GridFTP transfer attempts that failed mid-flight",
+                    ).inc()
                     if not policy.should_retry(
                         attempt_index, self.env.now - start
                     ):
@@ -210,9 +233,12 @@ class GridFTPService:
                     delay = policy.delay(attempt_index, salt)
                     if delay:
                         yield self.env.timeout(delay)
+            metrics.counter(
+                "ftp_failures_total", "GridFTP transfers that exhausted retries"
+            ).inc()
             raise last_error
 
-        return self.env.process(run())
+        return self.env.process(self.obs.tracer.wrap(span, run()))
 
     def scatter(
         self,
@@ -233,6 +259,11 @@ class GridFTPService:
                 f"{len(parts)} parts for {len(destinations)} destinations"
             )
         cap = self._flow_cap(streams)
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        span = tracer.start(
+            "ftp.scatter", parts=len(parts), mb=sum(p[1] for p in parts)
+        )
 
         def run():
             started = self.env.now
@@ -249,9 +280,22 @@ class GridFTPService:
                     )
                     yield dest.disk_write(part_mb)
                     dest.store_file(part_name, part_mb)
+                    metrics.counter(
+                        "ftp_bytes_mb_total", "Payload moved over GridFTP (MB)"
+                    ).inc(part_mb)
                     return stats
 
-                sends.append(self.env.process(deliver()))
+                sends.append(
+                    self.env.process(
+                        tracer.trace_gen(
+                            "ftp.part",
+                            deliver(),
+                            file=part_name,
+                            dst=dest.name,
+                            mb=part_mb,
+                        )
+                    )
+                )
             done = yield self.env.all_of(sends)
             stats_list = [proc.value for proc in sends]
             self.log.extend(stats_list)
@@ -261,7 +305,7 @@ class GridFTPService:
                 per_part=stats_list,
             )
 
-        return self.env.process(run())
+        return self.env.process(tracer.wrap(span, run()))
 
     def broadcast(
         self,
@@ -277,6 +321,11 @@ class GridFTPService:
         destination (each is its own control channel).  The process value is
         the list of per-destination :class:`TransferStats`.
         """
+        tracer = self.obs.tracer
+        span = tracer.start(
+            "ftp.broadcast", file=name, fanout=len(destinations), mb=size_mb
+        )
+
         def run():
             sends = [
                 self.transfer_file(
@@ -287,4 +336,4 @@ class GridFTPService:
             yield self.env.all_of(sends)
             return [proc.value for proc in sends]
 
-        return self.env.process(run())
+        return self.env.process(tracer.wrap(span, run()))

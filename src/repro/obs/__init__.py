@@ -1,0 +1,103 @@
+"""Observability layer: metrics + hierarchical tracing on the simulated clock.
+
+The paper's argument is a timing argument — Tables 1/2 and the cost model
+``T_grid = 0.338X + 53 + (62 + 5.3X)/N`` are phase breakdowns of a live
+session — so the runtime itself must be able to say where the time goes.
+This package provides:
+
+* :mod:`repro.obs.metrics` — Counter / Gauge / Histogram with labeled
+  series and exponential latency buckets;
+* :mod:`repro.obs.trace` — a span tracer with correct context propagation
+  across interleaved simulation processes;
+* :mod:`repro.obs.exporters` — JSON-lines traces, Prometheus text
+  exposition, and the per-phase summary that reconciles with
+  :mod:`repro.core.timeline` and feeds the paper-table benchmarks.
+
+Everything hangs off one :class:`Observability` handle.  Components take
+``obs=None`` and fall back to :data:`NULL_OBS`, whose tracer and registry
+are no-ops — instrumentation is free when disabled (asserted by
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    NullRegistry,
+    exponential_buckets,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceError,
+    Tracer,
+)
+
+
+class Observability:
+    """One handle bundling a tracer and a metrics registry.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (spans read its clock).  May be ``None``
+        only when ``enabled=False``.
+    enabled:
+        With ``False``, both the tracer and the registry are the shared
+        no-op singletons.
+    """
+
+    def __init__(self, env=None, enabled: bool = True) -> None:
+        if enabled and env is None:
+            raise ValueError("an enabled Observability needs an environment")
+        self.enabled = enabled
+        self.env = env
+        if enabled:
+            self.tracer: Tracer = Tracer(env)
+            self.metrics: MetricsRegistry = MetricsRegistry()
+        else:
+            self.tracer = NULL_TRACER
+            self.metrics = NULL_REGISTRY
+
+
+#: Shared disabled instance — the default for every instrumented component.
+NULL_OBS = Observability(enabled=False)
+
+
+def ensure_obs(obs: Optional[Observability]) -> Observability:
+    """``obs`` itself, or :data:`NULL_OBS` when ``None``."""
+    return obs if obs is not None else NULL_OBS
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Observability",
+    "Span",
+    "TraceError",
+    "Tracer",
+    "ensure_obs",
+    "exponential_buckets",
+]

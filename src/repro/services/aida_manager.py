@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 
 from repro.aida.tree import ObjectTree
 from repro.engine.engine import Snapshot
+from repro.obs import NULL_OBS, Observability
 from repro.sim import Environment, Process
 
 
@@ -96,12 +97,21 @@ class AIDAManagerService:
         env: Environment,
         merge_cost_per_tree: float = 0.05,
         fan_in: Optional[int] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         if merge_cost_per_tree < 0:
             raise ValueError("merge_cost_per_tree must be >= 0")
         if fan_in is not None and fan_in < 2:
             raise ValueError("fan_in must be >= 2")
         self.env = env
+        self.obs = obs or NULL_OBS
+        self._snapshot_metric = self.obs.metrics.counter(
+            "aida_snapshots_total",
+            "Engine snapshots accepted by the AIDA manager",
+        )
+        self._merge_metric = self.obs.metrics.histogram(
+            "aida_merge_seconds", "AIDA merge latency (simulated seconds)"
+        )
         self.merge_cost_per_tree = merge_cost_per_tree
         self.fan_in = fan_in
         self._snapshots: Dict[str, Dict[str, Snapshot]] = {}
@@ -135,6 +145,7 @@ class AIDAManagerService:
         if existing is not None and existing.sequence >= snapshot.sequence:
             return  # out-of-order delivery
         session[snapshot.engine_id] = snapshot
+        self._snapshot_metric.inc()
 
     def begin_run(self, session_id: str, run_id: int) -> None:
         """Invalidate snapshots older than *run_id* (a rewind happened).
@@ -204,11 +215,15 @@ class AIDAManagerService:
         Charges the merge latency on the simulated clock, then performs the
         exact merge.
         """
+        span = self.obs.tracer.child("aida.merge", session=session_id)
+
         def run():
             session = dict(self._snapshots.get(session_id, {}))
+            span.set(n_trees=len(session))
             latency = self.merge_latency(len(session))
             if latency:
                 yield self.env.timeout(latency)
+            self._merge_metric.observe(latency)
             merged_tree = ObjectTree()
             for snapshot in sorted(session.values(), key=lambda s: s.engine_id):
                 merged_tree.merge_from(ObjectTree.from_dict(snapshot.tree))
@@ -231,7 +246,7 @@ class AIDAManagerService:
             self.merge_log.append((session_id, len(session), latency))
             return merged_tree.to_dict(), progress
 
-        return self.env.process(run())
+        return self.env.process(self.obs.tracer.wrap(span, run()))
 
     def snapshot_count(self, session_id: str) -> int:
         """Engines with at least one stored snapshot."""

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.engine.sandbox import CodeBundle
 from repro.grid.nodes import ManagerNode, Node
 from repro.grid.transfer import GridFTPService
+from repro.obs import NULL_OBS, Observability
 from repro.sim import Environment, Process
 
 
@@ -55,10 +56,12 @@ class ManagingClassLoaderService:
         manager: ManagerNode,
         ftp: GridFTPService,
         stage_overhead: float = 6.5,
+        obs: Optional[Observability] = None,
     ) -> None:
         if stage_overhead < 0:
             raise ValueError("stage_overhead must be >= 0")
         self.env = env
+        self.obs = obs or NULL_OBS
         self.manager = manager
         self.ftp = ftp
         self.stage_overhead = stage_overhead
@@ -105,7 +108,15 @@ class ManagingClassLoaderService:
             )
             return self.env.now - started
 
-        return self.env.process(run())
+        return self.env.process(
+            self.obs.tracer.trace_gen(
+                "code.stage",
+                run(),
+                session=session_id,
+                version=bundle.version,
+                fanout=len(workers),
+            )
+        )
 
     def reload(
         self,

@@ -66,7 +66,13 @@ class ControlService:
         """
         context = self.authenticate(client_chain)
         info: SessionInfo = yield self.env.process(
-            self.session_service.create_session(context, client_chain, n_engines)
+            self.session_service.obs.tracer.trace_gen(
+                "session.create",
+                self.session_service.create_session(
+                    context, client_chain, n_engines
+                ),
+                identity=context.identity,
+            )
         )
         self.container.issue_token(info.token)
         return info

@@ -24,6 +24,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs import NULL_OBS, Observability
 from repro.resilience.retry import RetryPolicy
 from repro.sim import Environment, Process
 
@@ -45,6 +46,9 @@ class Envelope:
     args: dict
     channel: str = "soap"
     token: Optional[str] = None
+    #: Span id of the caller's active span — the trace context that rides
+    #: inside the envelope so server-side spans join the caller's tree.
+    trace_parent: Optional[str] = None
 
 
 @dataclass
@@ -76,8 +80,10 @@ class ServiceContainer:
         env: Environment,
         soap_latency: float = 0.25,
         rmi_latency: float = 0.05,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.env = env
+        self.obs = obs or NULL_OBS
         self._services: Dict[str, Dict[str, Callable]] = {}
         self._channels: Dict[str, ChannelSpec] = {
             "soap": ChannelSpec("soap", soap_latency, soap_latency),
@@ -168,7 +174,14 @@ class ServiceContainer:
         its backoff schedule (the whole request is re-sent); transport
         errors (:class:`ServiceError`) are never retried.
         """
-        envelope = Envelope(service, operation, dict(args or {}), channel, token)
+        envelope = Envelope(
+            service,
+            operation,
+            dict(args or {}),
+            channel,
+            token,
+            trace_parent=self.obs.tracer.current_id,
+        )
         if retry is None:
             return self.env.process(self._dispatch(envelope))
         return self.env.process(self._dispatch_with_retry(envelope, retry))
@@ -192,44 +205,75 @@ class ServiceContainer:
         raise last_fault
 
     def _dispatch(self, envelope: Envelope):
-        spec = self._channels.get(envelope.channel)
-        if spec is None:
-            raise ServiceError(f"unknown channel {envelope.channel!r}")
-        if spec.request_latency:
-            yield self.env.timeout(spec.request_latency)
-        if spec.requires_token and envelope.token not in self._valid_tokens:
-            raise Fault(
-                f"channel {envelope.channel!r} requires a valid session token"
-            )
-        operations = self._services.get(envelope.service)
-        if operations is None:
-            raise ServiceError(f"unknown service {envelope.service!r}")
-        handler = operations.get(envelope.operation)
-        if handler is None:
-            raise ServiceError(
-                f"service {envelope.service!r} has no operation "
-                f"{envelope.operation!r}"
-            )
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        span = tracer.start(
+            f"call:{envelope.service}.{envelope.operation}",
+            parent_id=envelope.trace_parent,
+            channel=envelope.channel,
+        )
+        started = self.env.now
         key = f"{envelope.service}.{envelope.operation}"
-        injected = self._injected_faults.get(key)
-        if injected is not None:
-            error, remaining = injected
-            if remaining is not None:
-                if remaining <= 1:
-                    del self._injected_faults[key]
-                else:
-                    injected[1] = remaining - 1
-            raise error
+        try:
+            spec = self._channels.get(envelope.channel)
+            if spec is None:
+                raise ServiceError(f"unknown channel {envelope.channel!r}")
+            if spec.request_latency:
+                yield self.env.timeout(spec.request_latency)
+            if spec.requires_token and envelope.token not in self._valid_tokens:
+                raise Fault(
+                    f"channel {envelope.channel!r} requires a valid session "
+                    f"token"
+                )
+            operations = self._services.get(envelope.service)
+            if operations is None:
+                raise ServiceError(f"unknown service {envelope.service!r}")
+            handler = operations.get(envelope.operation)
+            if handler is None:
+                raise ServiceError(
+                    f"service {envelope.service!r} has no operation "
+                    f"{envelope.operation!r}"
+                )
+            injected = self._injected_faults.get(key)
+            if injected is not None:
+                error, remaining = injected
+                if remaining is not None:
+                    if remaining <= 1:
+                        del self._injected_faults[key]
+                    else:
+                        injected[1] = remaining - 1
+                raise error
 
-        result = handler(**envelope.args)
-        if inspect.isgenerator(result):
-            # The operation advances simulated time itself.
-            result = yield self.env.process(result)
-        elif isinstance(result, Process):
-            # The operation already started a simulation process.
-            result = yield result
-        if spec.response_latency:
-            yield self.env.timeout(spec.response_latency)
+            # The span is current while the handler runs synchronously (so
+            # Process-returning operations can pick up the trace context)
+            # and, via the wrap proxy, whenever a generator handler is
+            # resumed later.
+            with tracer.activate(span):
+                result = handler(**envelope.args)
+            if inspect.isgenerator(result):
+                # The operation advances simulated time itself.
+                result = yield self.env.process(
+                    tracer.wrap(span, result, finish=False)
+                )
+            elif isinstance(result, Process):
+                # The operation already started a simulation process.
+                result = yield result
+            if spec.response_latency:
+                yield self.env.timeout(spec.response_latency)
+        except BaseException as exc:
+            span.finish(error=repr(exc))
+            metrics.counter(
+                "service_errors_total", "Failed service-operation calls"
+            ).inc(operation=key, channel=envelope.channel)
+            raise
+        span.finish()
+        metrics.counter(
+            "service_calls_total", "Completed service-operation calls"
+        ).inc(operation=key, channel=envelope.channel)
+        metrics.histogram(
+            "service_call_seconds",
+            "Service call latency (request to response, simulated seconds)",
+        ).observe(self.env.now - started, channel=envelope.channel)
         self.call_log.append(
             (envelope.service, envelope.operation, envelope.channel)
         )

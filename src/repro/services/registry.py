@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.obs import NULL_OBS, Observability
 from repro.sim import Environment, Event
 
 
@@ -37,14 +38,21 @@ class EngineReference:
 class WorkerRegistryService:
     """Tracks live engines per session and wakes waiters on arrival."""
 
-    def __init__(self, env: Environment) -> None:
+    def __init__(
+        self, env: Environment, obs: Optional[Observability] = None
+    ) -> None:
         self.env = env
+        self.obs = obs or NULL_OBS
         self._engines: Dict[str, Dict[str, EngineReference]] = {}
         self._waiters: Dict[str, List[tuple]] = {}
         #: (session_id, engine_id) -> simulated time of the last heartbeat.
         #: Survives deregistration so a monitor can still inspect the final
         #: beat of a dead engine.
         self._heartbeats: Dict[tuple, float] = {}
+        self._gap_metric = self.obs.metrics.histogram(
+            "heartbeat_gap_seconds",
+            "Gap between consecutive beats of one engine (simulated seconds)",
+        )
 
     # -- engine side ---------------------------------------------------------
     def register(self, reference: EngineReference) -> None:
@@ -64,7 +72,12 @@ class WorkerRegistryService:
 
     def heartbeat(self, session_id: str, engine_id: str) -> None:
         """Record a liveness beat from an engine at the current time."""
-        self._heartbeats[(session_id, engine_id)] = self.env.now
+        key = (session_id, engine_id)
+        now = self.env.now
+        previous = self._heartbeats.get(key)
+        if previous is not None:
+            self._gap_metric.observe(now - previous)
+        self._heartbeats[key] = now
 
     def last_heartbeat(self, session_id: str, engine_id: str) -> Optional[float]:
         """Simulated time of the engine's last beat, or ``None``."""

@@ -54,6 +54,7 @@ from repro.grid.nodes import StorageElement, WorkerNode
 from repro.grid.scheduler import JobState
 from repro.grid.security import Certificate, SecurityContext
 from repro.grid.transfer import GridFTPService, TransferError
+from repro.obs import NULL_OBS, Observability
 from repro.resilience.heartbeat import HeartbeatMonitor, RecoveryConfig
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService
@@ -130,6 +131,7 @@ class EngineHost:
         content_store: ContentStore,
         calibration: "Calibration",
         heartbeat_interval: Optional[float] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.engine_id = engine_id
         self.session_id = session_id
@@ -138,6 +140,20 @@ class EngineHost:
         self.content_store = content_store
         self.calibration = calibration
         self.heartbeat_interval = heartbeat_interval
+        self.obs = obs or NULL_OBS
+        # Captured at construction time, which happens inside the (traced)
+        # create_session / recovery execution — the engine's whole lifetime
+        # then parents under the session tree even though GRAM starts it in
+        # a fresh simulation process.
+        self._trace_parent = self.obs.tracer.current_id
+        metrics = self.obs.metrics
+        self._events_metric = metrics.counter(
+            "engine_events_total", "Events processed by analysis engines"
+        )
+        self._chunk_metric = metrics.histogram(
+            "engine_chunk_seconds",
+            "Per-chunk processing time (simulated seconds)",
+        )
         self.engine = AnalysisEngine(
             engine_id,
             chunk_events=calibration.chunk_events,
@@ -155,6 +171,15 @@ class EngineHost:
     # -- job body ----------------------------------------------------------
     def body(self, env: Environment, worker: WorkerNode):
         """The GRAM job body: register, then serve directives until shutdown."""
+        return self.obs.tracer.trace_gen(
+            "engine.run",
+            self._serve(env, worker),
+            parent_id=self._trace_parent,
+            engine=self.engine_id,
+            worker=worker.name,
+        )
+
+    def _serve(self, env: Environment, worker: WorkerNode):
         cal = self.calibration
         yield env.timeout(cal.engine_startup_s)
         self.mailbox = Store(env)
@@ -316,6 +341,7 @@ class EngineHost:
             # Re-read each iteration: a mid-run load_data (dataset switch)
             # replaces the part descriptor.
             part = self._part
+            chunk_started = env.now
             result = self.engine.process_chunk()
             if result.events > 0 and result.cursor == result.events:
                 # First chunk of a fresh pass over a part (start, rewound,
@@ -327,6 +353,11 @@ class EngineHost:
                 chunk_mb = part.size_mb * (result.events / part.n_events)
                 yield env.timeout(
                     chunk_mb * cal.grid_analysis_rate_s_per_mb * worker.slow_factor
+                )
+            if result.events > 0:
+                self._events_metric.inc(result.events, engine=self.engine_id)
+                self._chunk_metric.observe(
+                    env.now - chunk_started, engine=self.engine_id
                 )
             if result.snapshot is not None:
                 snapshot = result.snapshot
@@ -386,8 +417,10 @@ class SessionService:
         calibration: "Calibration",
         session_lifetime: Optional[float] = None,
         recovery: Optional[RecoveryConfig] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.env = env
+        self.obs = obs or NULL_OBS
         self.gram = gram
         self.registry = registry
         self.catalog = catalog
@@ -447,6 +480,7 @@ class SessionService:
                 content_store=self.content_store,
                 calibration=self.calibration,
                 heartbeat_interval=heartbeat_interval,
+                obs=self.obs,
             )
             hosts[host.engine_id] = host
             return host.body
@@ -486,6 +520,9 @@ class SessionService:
             "unrecoverable": False,
             "next_engine_index": count,
             "monitor": None,
+            # Trace context of the creating call: recovery work started by
+            # the background monitor parents here instead of floating free.
+            "trace_parent": self.obs.tracer.current_id,
         }
         self._sessions[session_id] = session
         self.aida.set_expected_engines(session_id, count)
@@ -534,19 +571,29 @@ class SessionService:
         entry = self.catalog.entry(dataset_id)
         location = self.locator.locate(dataset_id)
 
+        tracer = self.obs.tracer
         fetch_seconds = 0.0
         if location.origin_host is not None:
             # "Locate and transfer large dataset file" (Fig. 1): move the
             # whole file from its origin to the storage element.
             started = self.env.now
-            yield self.ftp.transfer_file(
-                _HostProxy(location.origin_host, self.env),
-                self.storage,
-                f"{dataset_id}.whole",
-                location.size_mb,
-                read_disk=False,
-                write_disk=False,
+            fetch_span = tracer.child(
+                "stage.fetch",
+                phase="move_whole",
+                dataset=dataset_id,
+                mb=location.size_mb,
             )
+            with tracer.activate(fetch_span):
+                fetch = self.ftp.transfer_file(
+                    _HostProxy(location.origin_host, self.env),
+                    self.storage,
+                    f"{dataset_id}.whole",
+                    location.size_mb,
+                    read_disk=False,
+                    write_disk=False,
+                )
+            yield fetch
+            fetch_span.finish()
             fetch_seconds = self.env.now - started
 
         references = session["references"]
@@ -597,10 +644,17 @@ class SessionService:
         workers = [
             self.gram.scheduler.element.worker(ref.worker) for ref in references
         ]
+        tracer = self.obs.tracer
         started = self.env.now
-        yield self.codeloader.stage(session_id, bundle, workers)
+        code_span = tracer.child(
+            "stage.code", phase="stage_code", engines=len(references)
+        )
+        with tracer.activate(code_span):
+            staging = self.codeloader.stage(session_id, bundle, workers)
+        yield staging
         for ref in references:
             yield ref.mailbox.put(("load_code", bundle))
+        code_span.finish()
         return self.env.now - started
 
     def reload_code(
@@ -739,7 +793,13 @@ class SessionService:
                     continue
                 self._quarantine(session_id, engine_id)
             if session["orphaned"] and not session["closing"]:
-                yield self.env.process(self._redispatch(session_id))
+                yield self.env.process(
+                    self.obs.tracer.trace_gen(
+                        "session.redispatch",
+                        self._redispatch(session_id),
+                        parent_id=session.get("trace_parent"),
+                    )
+                )
             self._maybe_end_recovery(session_id)
 
     def _quarantine(self, session_id: str, engine_id: str) -> dict:
@@ -753,6 +813,25 @@ class SessionService:
             job.error
             if job is not None and isinstance(job.error, NodeFailure)
             else NodeCrash(engine_id, "heartbeat timeout")
+        )
+        # The beat record survives deregistration, so read it first: the
+        # fault→detection latency is (now − last beat).
+        last_beat = self.registry.last_heartbeat(session_id, engine_id)
+        metrics = self.obs.metrics
+        if last_beat is not None:
+            metrics.histogram(
+                "fault_detect_seconds",
+                "Engine silence to quarantine latency (simulated seconds)",
+            ).observe(self.env.now - last_beat)
+        metrics.counter(
+            "session_quarantines_total",
+            "Engines declared dead and quarantined",
+        ).inc()
+        recovery_span = self.obs.tracer.start(
+            "session.recover",
+            parent_id=session.get("trace_parent"),
+            engine=engine_id,
+            cause=type(cause).__name__,
         )
         # Gate `complete` first, then drop the dead engine's epoch from the
         # merge — zombie submissions are banned from here on.
@@ -773,6 +852,7 @@ class SessionService:
             "cause": cause,
             "detected_at": self.env.now,
             "parts": len(orphaned),
+            "span": recovery_span,
         }
         session["recoveries"].append(record)
         if job is not None and job.state not in JobState.TERMINAL:
@@ -843,6 +923,10 @@ class SessionService:
                     "at": self.env.now,
                 }
             )
+            self.obs.metrics.counter(
+                "session_redispatches_total",
+                "Orphaned partitions re-dispatched to a live engine",
+            ).inc()
             ack = self.env.event()
             session["pending_acks"].append(ack)
             yield target.mailbox.put(
@@ -872,6 +956,15 @@ class SessionService:
         ]
         if not session["orphaned"] and not session["pending_acks"]:
             self.aida.set_recovering(session_id, False)
+            for record in session["recoveries"]:
+                span = record.get("span")
+                if span is not None and not span.finished:
+                    span.finish(recovered_at=self.env.now)
+                    self.obs.metrics.histogram(
+                        "fault_recover_seconds",
+                        "Quarantine to recovery-complete latency "
+                        "(simulated seconds)",
+                    ).observe(self.env.now - record["detected_at"])
 
     def _start_spare(self, session_id: str):
         """Submit a replacement engine on a spare worker (generator).
@@ -893,6 +986,7 @@ class SessionService:
             content_store=self.content_store,
             calibration=self.calibration,
             heartbeat_interval=config.heartbeat_interval,
+            obs=self.obs,
         )
         try:
             submission = self.gram.submit(

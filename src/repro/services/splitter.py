@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.grid.nodes import Node, StorageElement
 from repro.grid.transfer import GridFTPService, ScatterReport
+from repro.obs import NULL_OBS, Observability
 from repro.services.locator import DatasetLocation
 from repro.sim import Environment, Process
 
@@ -85,10 +86,12 @@ class SplitterService:
         ftp: GridFTPService,
         split_rate: float = 0.25,
         per_file_overhead: float = 0.2,
+        obs: Optional[Observability] = None,
     ) -> None:
         if split_rate < 0 or per_file_overhead < 0:
             raise ValueError("rates/overheads must be >= 0")
         self.env = env
+        self.obs = obs or NULL_OBS
         self.storage = storage
         self.ftp = ftp
         self.split_rate = split_rate
@@ -198,27 +201,39 @@ class SplitterService:
             event_weights,
         )
 
+        tracer = self.obs.tracer
+
         def run():
             planning_started = self.env.now
+            plan_span = tracer.child(
+                "stage.query_plan", phase="split", parts=len(parts)
+            )
             yield self.env.timeout(per_query_overhead * len(parts))
+            plan_span.finish()
             planning_seconds = self.env.now - planning_started
             move_started = self.env.now
-            yield self.ftp.scatter(
-                self.storage,
-                list(worker_nodes),
-                [
-                    (f"{location.dataset_id}.range{p.part_index}", p.size_mb)
-                    for p in parts
-                ],
-                streams=streams,
-            )
+            move_span = tracer.child("stage.move_parts", phase="move_parts")
+            with tracer.activate(move_span):
+                scatter = self.ftp.scatter(
+                    self.storage,
+                    list(worker_nodes),
+                    [
+                        (f"{location.dataset_id}.range{p.part_index}", p.size_mb)
+                        for p in parts
+                    ],
+                    streams=streams,
+                )
+            yield scatter
+            move_span.finish()
             return StageReport(
                 split_seconds=planning_seconds,
                 move_parts_seconds=self.env.now - move_started,
                 parts=parts,
             )
 
-        return self.env.process(run())
+        return self.env.process(
+            tracer.trace_gen("stage.query_and_scatter", run())
+        )
 
     def split_and_scatter(
         self,
@@ -240,26 +255,44 @@ class SplitterService:
             event_weights,
         )
 
+        tracer = self.obs.tracer
+
         def run():
             split_started = self.env.now
+            split_span = tracer.child(
+                "stage.split",
+                phase="split",
+                mb=location.size_mb,
+                parts=len(parts),
+            )
             split_time = (
                 location.size_mb * self.split_rate
                 + len(parts) * self.per_file_overhead
             )
             yield self.env.timeout(split_time)
+            split_span.finish()
             split_seconds = self.env.now - split_started
 
             move_started = self.env.now
-            report: ScatterReport = yield self.ftp.scatter(
-                self.storage,
-                list(worker_nodes),
-                [(f"{location.dataset_id}.part{p.part_index}", p.size_mb) for p in parts],
-                streams=streams,
-            )
+            move_span = tracer.child("stage.move_parts", phase="move_parts")
+            with tracer.activate(move_span):
+                scatter = self.ftp.scatter(
+                    self.storage,
+                    list(worker_nodes),
+                    [
+                        (f"{location.dataset_id}.part{p.part_index}", p.size_mb)
+                        for p in parts
+                    ],
+                    streams=streams,
+                )
+            report: ScatterReport = yield scatter
+            move_span.finish()
             return StageReport(
                 split_seconds=split_seconds,
                 move_parts_seconds=self.env.now - move_started,
                 parts=parts,
             )
 
-        return self.env.process(run())
+        return self.env.process(
+            tracer.trace_gen("stage.split_and_scatter", run())
+        )

@@ -18,6 +18,10 @@ from repro.analysis import higgs
 from repro.client.client import IPAClient
 from repro.core.site import GridSite, SiteConfig
 
+# Minutes-scale end-to-end runs; CI runs these in a dedicated job
+# (see .github/workflows/ci.yml) rather than the fast tier-1 matrix.
+pytestmark = [pytest.mark.slow, pytest.mark.chaos]
+
 N_WORKERS = 16
 N_EVENTS = 16_000  # 1000 events/part -> 2 chunks/part: partial snapshots exist
 SIZE_MB = 480.0

@@ -1,0 +1,108 @@
+"""End-to-end telemetry: one session -> one coherent trace + sane metrics."""
+
+import pytest
+
+from repro.core.experiment import run_grid_experiment
+from repro.obs.exporters import (
+    metrics_to_prometheus,
+    phase_summary,
+    phase_totals,
+    render_tree,
+    to_timeline,
+)
+
+SIZE_MB = 471.0
+NODES = 16
+PHASES = ("session_setup", "move_whole", "split", "move_parts", "stage_code", "analysis")
+
+#: Table 2, N = 16 row (seconds) — what the telemetry should reproduce.
+TABLE2_N16 = {"move_whole": 63.0, "split": 124.0, "move_parts": 50.0, "analysis": 78.0}
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_grid_experiment(
+        SIZE_MB, NODES, events_per_mb=4, collect_tree=False, observability=True
+    )
+
+
+def test_one_session_is_one_trace_tree(traced_run):
+    tracer = traced_run.obs.tracer
+    roots = tracer.roots()
+    assert [root.name for root in roots] == ["session"]
+    names = set(tracer.descendant_names(roots[0]))
+    # Client tier -> service tier -> grid/engine tier, all in one tree.
+    for expected in (
+        "call:control.create_session",
+        "session.create",
+        "gram.submit",
+        "stage.fetch",
+        "stage.split",
+        "stage.move_parts",
+        "stage.code",
+        "engine.run",
+        "ftp.scatter",
+        "ftp.transfer",
+        "aida.merge",
+    ):
+        assert expected in names, f"missing {expected} under the session root"
+    assert len(tracer.find("engine.run")) == NODES
+    open_spans = [span for span in tracer.spans if not span.finished]
+    assert open_spans == []
+
+
+def test_phase_totals_reconcile_with_breakdown(traced_run):
+    totals = phase_totals(traced_run.obs.tracer)
+    for phase in PHASES:
+        assert totals[phase] == pytest.approx(getattr(traced_run, phase), abs=1e-9)
+    summary = phase_summary(traced_run.obs.tracer)
+    for phase in PHASES:
+        assert phase in summary
+
+
+def test_engine_and_transfer_metrics(traced_run):
+    metrics = traced_run.obs.metrics
+    n_events = int(SIZE_MB * 4)
+    assert metrics.get("engine_events_total").total() == n_events
+    per_engine = metrics.get("engine_chunk_seconds")
+    assert len(per_engine.labels_seen()) == NODES  # one series per engine
+    assert sum(per_engine.count(**dict(key)) for key in per_engine.labels_seen()) >= NODES
+    assert metrics.get("service_calls_total").total() > 0
+    assert metrics.get("heartbeat_gap_seconds").count() > 0
+    assert metrics.get("aida_snapshots_total").total() > 0
+    assert metrics.get("aida_merge_seconds").count() > 0
+
+
+def test_prometheus_dump_and_tree_render(traced_run):
+    text = metrics_to_prometheus(traced_run.obs.metrics)
+    assert "# TYPE engine_events_total counter" in text
+    assert "# TYPE service_call_seconds histogram" in text
+    assert 'le="+Inf"' in text
+    rendered = render_tree(traced_run.obs.tracer, max_depth=2)
+    assert rendered.startswith("session")
+    assert "engine.run" in render_tree(traced_run.obs.tracer)
+
+
+def test_timeline_export_matches_phases(traced_run):
+    timeline = to_timeline(traced_run.obs.tracer)
+    for phase in PHASES:
+        assert timeline.total(phase) == pytest.approx(
+            getattr(traced_run, phase), abs=1e-9
+        )
+
+
+def test_disabled_run_is_identical_and_untelemetered(traced_run):
+    baseline = run_grid_experiment(
+        SIZE_MB, NODES, events_per_mb=4, collect_tree=False, observability=False
+    )
+    assert baseline.obs is None
+    for phase in PHASES:
+        assert getattr(baseline, phase) == getattr(traced_run, phase)
+
+
+@pytest.mark.slow
+def test_telemetry_reproduces_table2_row(traced_run):
+    """Regression: trace-derived phase totals still match the paper table."""
+    totals = phase_totals(traced_run.obs.tracer)
+    for phase, paper_seconds in TABLE2_N16.items():
+        assert totals[phase] == pytest.approx(paper_seconds, rel=0.12), phase

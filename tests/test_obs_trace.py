@@ -1,0 +1,214 @@
+"""Tracer: span lifecycle, context propagation, envelopes, round-trips."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Observability
+from repro.obs.exporters import (
+    build_tree,
+    render_tree,
+    spans_from_jsonl,
+    trace_to_jsonl,
+    tracer_tree,
+)
+from repro.obs.trace import Tracer
+from repro.services.envelope import ServiceContainer
+from repro.sim import Environment
+
+
+def make_tracer():
+    env = Environment()
+    return env, Tracer(env)
+
+
+def test_span_lifecycle():
+    env, tracer = make_tracer()
+    span = tracer.start("work", mb=471)
+    assert span.span_id == "s1"
+    assert span.attrs == {"mb": 471}
+    assert not span.finished and span.duration == 0.0
+    env.run(until=env.timeout(3.0))
+    span.set(parts=16).finish(extra="yes")
+    assert span.finished
+    assert span.duration == 3.0
+    assert span.attrs == {"mb": 471, "parts": 16, "extra": "yes"}
+    # finish() is idempotent: the first end time sticks.
+    env.run(until=env.timeout(1.0))
+    span.finish()
+    assert span.end == 3.0
+    assert span.status == "ok"
+
+
+def test_span_error_and_context_manager():
+    env, tracer = make_tracer()
+    failed = tracer.start("bad").finish(error="boom")
+    assert failed.status == "error"
+    assert failed.attrs["error"] == "boom"
+    with pytest.raises(RuntimeError):
+        with tracer.start("ctx"):
+            raise RuntimeError("nope")
+    ctx = tracer.find("ctx")[0]
+    assert ctx.finished and ctx.status == "error"
+
+
+def test_parent_resolution_precedence():
+    env, tracer = make_tracer()
+    a = tracer.start("a")
+    b = tracer.start("b")
+    with tracer.activate(a):
+        assert tracer.current_id == a.span_id
+        # Explicit parent beats parent_id beats current.
+        assert tracer.start("x", parent=b, parent_id="s999").parent_id == b.span_id
+        assert tracer.start("y", parent_id=b.span_id).parent_id == b.span_id
+        assert tracer.child("z").parent_id == a.span_id
+    assert tracer.current is None
+    assert tracer.child("root2").parent_id is None
+
+
+def test_activate_nests_and_restores():
+    env, tracer = make_tracer()
+    a = tracer.start("a")
+    b = tracer.start("b")
+    with tracer.activate(a):
+        with tracer.activate(b):
+            assert tracer.current is b
+        assert tracer.current is a
+    assert tracer.current is None
+
+
+def test_wrap_installs_span_only_while_running():
+    env, tracer = make_tracer()
+    span = tracer.start("outer")
+
+    def work():
+        assert tracer.current is span
+        yield "first"
+        assert tracer.current is span
+        yield "second"
+        return "value"
+
+    proxy = tracer.wrap(span, work())
+    assert next(proxy) == "first"
+    assert tracer.current is None  # restored while suspended
+    assert proxy.send(None) == "second"
+    with pytest.raises(StopIteration) as stop:
+        proxy.send(None)
+    assert stop.value.value == "value"
+    assert span.finished
+
+
+def test_wrap_records_errors():
+    env, tracer = make_tracer()
+    span = tracer.start("doomed")
+
+    def work():
+        yield "once"
+        raise ValueError("kaput")
+
+    proxy = tracer.wrap(span, work())
+    next(proxy)
+    with pytest.raises(ValueError):
+        proxy.send(None)
+    assert span.finished
+    assert span.status == "error"
+    assert "kaput" in span.attrs["error"]
+
+
+def test_wrap_isolates_interleaved_processes():
+    """Two concurrent sim processes never see each other's context."""
+    env, tracer = make_tracer()
+
+    def worker(tag, delay):
+        for step in range(3):
+            tracer.child(f"{tag}.step{step}")
+            yield env.timeout(delay)
+
+    env.process(tracer.trace_gen("left", worker("left", 1.0)))
+    env.process(tracer.trace_gen("right", worker("right", 1.5)))
+    env.run()
+
+    left = tracer.find("left")[0]
+    right = tracer.find("right")[0]
+    for step in range(3):
+        assert tracer.find(f"left.step{step}")[0].parent_id == left.span_id
+        assert tracer.find(f"right.step{step}")[0].parent_id == right.span_id
+    # trace_gen closes each root when its generator returns.
+    assert left.finished and left.duration == 3.0
+    assert right.finished and right.duration == 4.5
+
+
+def test_envelope_carries_trace_context():
+    env = Environment()
+    obs = Observability(env)
+    container = ServiceContainer(env, obs=obs)
+    container.register("echo", {"ping": lambda x: x + 1})
+
+    def client():
+        result = yield container.call("echo", "ping", {"x": 41})
+        assert result == 42
+
+    process = env.process(obs.tracer.trace_gen("client", client()))
+    env.run(until=process)
+
+    root = obs.tracer.find("client")[0]
+    call = obs.tracer.find("call:echo.ping")[0]
+    assert call.parent_id == root.span_id
+    assert call.finished and call.status == "ok"
+    assert call.attrs["channel"] == "soap"
+    assert obs.metrics.get("service_calls_total").total() == 1
+    assert obs.metrics.get("service_call_seconds").count(channel="soap") == 1
+
+
+def test_jsonl_round_trip_rebuilds_identical_tree():
+    env, tracer = make_tracer()
+
+    def inner():
+        tracer.child("leaf", n=1)
+        yield env.timeout(2.0)
+
+    def outer():
+        yield env.process(tracer.trace_gen("inner", inner()))
+        yield env.timeout(1.0)
+
+    env.run(until=env.process(tracer.trace_gen("outer", outer(), mb=7)))
+    for span in tracer.spans:
+        span.finish()  # close the zero-length leaf for export
+
+    text = trace_to_jsonl(tracer)
+    assert len(text.strip().splitlines()) == len(tracer.spans)
+    rebuilt = build_tree(spans_from_jsonl(text))
+    assert rebuilt == tracer_tree(tracer)
+    assert rebuilt[0]["name"] == "outer"
+    assert rebuilt[0]["attrs"] == {"mb": 7}
+    assert "outer" in render_tree(tracer)
+
+
+def test_build_tree_promotes_orphans():
+    records = [
+        {"span_id": "s2", "parent_id": "s99", "name": "orphan", "start": 1.0},
+        {"span_id": "s1", "parent_id": None, "name": "root", "start": 0.0},
+    ]
+    roots = [node["name"] for node in build_tree(records)]
+    assert roots == ["root", "orphan"]
+
+
+def test_null_tracer_is_transparent():
+    def gen():
+        yield 1
+
+    g = gen()
+    assert NULL_TRACER.wrap(NULL_SPAN, g) is g
+    assert NULL_TRACER.trace_gen("x", g) is g
+    assert NULL_TRACER.start("x") is NULL_SPAN
+    assert NULL_TRACER.child("x") is NULL_SPAN
+    assert NULL_TRACER.current_id is None
+    with NULL_TRACER.activate(NULL_SPAN) as span:
+        assert span is NULL_SPAN
+    assert NULL_SPAN.child("y") is NULL_SPAN
+    assert NULL_SPAN.finish() is NULL_SPAN
+    assert NULL_SPAN.finished
+
+
+def test_disabled_observability_uses_null_tracer():
+    obs = Observability(enabled=False)
+    assert obs.tracer is NULL_TRACER
+    assert not obs.tracer.enabled

@@ -23,6 +23,14 @@ rendering (:mod:`repro.aida.render`).
 
 from repro.aida.axis import Axis
 from repro.aida.cloud import Cloud1D, Cloud2D
+from repro.aida.codec import (
+    codec_disabled,
+    codec_enabled,
+    decode_array,
+    encode_array,
+    payload_nbytes,
+    set_codec_enabled,
+)
 from repro.aida.hist1d import Histogram1D
 from repro.aida.hist2d import Histogram2D
 from repro.aida.ntuple import NTuple
@@ -42,15 +50,21 @@ __all__ = [
     "ObjectTree",
     "Profile1D",
     "TreeError",
+    "codec_disabled",
+    "codec_enabled",
+    "decode_array",
     "divide",
     "divide2d",
     "efficiency",
     "efficiency2d",
+    "encode_array",
     "from_dict",
     "merge",
     "normalize",
     "normalize2d",
+    "payload_nbytes",
     "rebin",
+    "set_codec_enabled",
     "subtract",
     "subtract2d",
     "to_dict",

@@ -19,6 +19,8 @@ from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.aida.codec import decode_array, encode_array
+
 UNDERFLOW = -2
 OVERFLOW = -1
 
@@ -199,11 +201,11 @@ class Axis:
                 "lower": self.lower_edge,
                 "upper": self.upper_edge,
             }
-        return {"edges": self._edges.tolist()}
+        return {"edges": encode_array(self._edges)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "Axis":
         """Reconstruct an axis serialized with :meth:`to_dict`."""
         if "edges" in data:
-            return cls(edges=data["edges"])
+            return cls(edges=decode_array(data["edges"], dtype=float))
         return cls(bins=data["bins"], lower=data["lower"], upper=data["upper"])

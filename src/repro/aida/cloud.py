@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.aida.codec import decode_list, encode_array
 from repro.aida.hist1d import Histogram1D
 from repro.aida.hist2d import Histogram2D
 
@@ -103,10 +104,18 @@ class Cloud1D:
         self._xs: List[float] = []
         self._ws: List[float] = []
         self._hist: Optional[Histogram1D] = None
+        # Bumped on every mutation; drives delta-snapshot dirty tracking.
+        self._version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (fill/convert/reset/merge bump it)."""
+        return self._version
 
     # -- filling ----------------------------------------------------------
     def fill(self, x: float, weight: float = 1.0) -> None:
         """Add one point, possibly triggering auto-conversion."""
+        self._version += 1
         if self._hist is not None:
             self._hist.fill(x, weight)
             return
@@ -172,6 +181,7 @@ class Cloud1D:
         """Convert to a histogram (idempotent); returns it."""
         if self._hist is not None:
             return self._hist
+        self._version += 1
         xs = np.asarray(self._xs)
         if lower is None:
             lower = float(xs.min()) if xs.size else 0.0
@@ -204,6 +214,7 @@ class Cloud1D:
         """
         if not isinstance(other, Cloud1D):
             raise TypeError(f"cannot combine Cloud1D with {type(other).__name__}")
+        self._version += 1
         if self._hist is None and other._hist is None:
             self._xs.extend(other._xs)
             self._ws.extend(other._ws)
@@ -244,6 +255,7 @@ class Cloud1D:
 
     def reset(self) -> None:
         """Drop all points and any converted histogram."""
+        self._version += 1
         self._xs = []
         self._ws = []
         self._hist = None
@@ -264,8 +276,8 @@ class Cloud1D:
         if self._hist is not None:
             data["hist"] = self._hist.to_dict()
         else:
-            data["xs"] = list(self._xs)
-            data["ws"] = list(self._ws)
+            data["xs"] = encode_array(np.asarray(self._xs, dtype=float))
+            data["ws"] = encode_array(np.asarray(self._ws, dtype=float))
         return data
 
     @classmethod
@@ -275,8 +287,8 @@ class Cloud1D:
         if "hist" in data:
             cloud._hist = Histogram1D.from_dict(data["hist"])
         else:
-            cloud._xs = [float(x) for x in data["xs"]]
-            cloud._ws = [float(w) for w in data["ws"]]
+            cloud._xs = decode_list(data["xs"])
+            cloud._ws = decode_list(data["ws"])
         return cloud
 
 
@@ -302,9 +314,17 @@ class Cloud2D:
         self._ys: List[float] = []
         self._ws: List[float] = []
         self._hist: Optional[Histogram2D] = None
+        # Bumped on every mutation; drives delta-snapshot dirty tracking.
+        self._version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (fill/convert/reset/merge bump it)."""
+        return self._version
 
     def fill(self, x: float, y: float, weight: float = 1.0) -> None:
         """Add one (x, y) point, possibly triggering auto-conversion."""
+        self._version += 1
         if self._hist is not None:
             self._hist.fill(x, y, weight)
             return
@@ -330,6 +350,7 @@ class Cloud2D:
         """Convert to a 2-D histogram (idempotent); returns it."""
         if self._hist is not None:
             return self._hist
+        self._version += 1
         xs = np.asarray(self._xs)
         ys = np.asarray(self._ys)
 
@@ -367,6 +388,7 @@ class Cloud2D:
         """Merge *other* into this cloud (see :meth:`Cloud1D.__iadd__`)."""
         if not isinstance(other, Cloud2D):
             raise TypeError(f"cannot combine Cloud2D with {type(other).__name__}")
+        self._version += 1
         if self._hist is None and other._hist is None:
             self._xs.extend(other._xs)
             self._ys.extend(other._ys)
@@ -425,6 +447,7 @@ class Cloud2D:
 
     def reset(self) -> None:
         """Drop all points and any converted histogram."""
+        self._version += 1
         self._xs, self._ys, self._ws = [], [], []
         self._hist = None
 
@@ -443,9 +466,9 @@ class Cloud2D:
         if self._hist is not None:
             data["hist"] = self._hist.to_dict()
         else:
-            data["xs"] = list(self._xs)
-            data["ys"] = list(self._ys)
-            data["ws"] = list(self._ws)
+            data["xs"] = encode_array(np.asarray(self._xs, dtype=float))
+            data["ys"] = encode_array(np.asarray(self._ys, dtype=float))
+            data["ws"] = encode_array(np.asarray(self._ws, dtype=float))
         return data
 
     @classmethod
@@ -455,7 +478,7 @@ class Cloud2D:
         if "hist" in data:
             cloud._hist = Histogram2D.from_dict(data["hist"])
         else:
-            cloud._xs = [float(v) for v in data["xs"]]
-            cloud._ys = [float(v) for v in data["ys"]]
-            cloud._ws = [float(v) for v in data["ws"]]
+            cloud._xs = decode_list(data["xs"])
+            cloud._ys = decode_list(data["ys"])
+            cloud._ws = decode_list(data["ws"])
         return cloud

@@ -7,6 +7,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.aida.axis import OVERFLOW, UNDERFLOW, Axis
+from repro.aida.codec import decode_array, encode_array
 
 
 class Histogram1D:
@@ -62,10 +63,18 @@ class Histogram1D:
         # In-range weighted moments for mean/rms.
         self._swx = 0.0
         self._swx2 = 0.0
+        # Bumped on every mutation; drives delta-snapshot dirty tracking.
+        self._version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (fill/reset/merge/scale bump it)."""
+        return self._version
 
     # -- filling ----------------------------------------------------------
     def fill(self, x: float, weight: float = 1.0) -> None:
         """Add one entry at *x* with the given *weight*."""
+        self._version += 1
         index = self.axis.coord_to_index(x)
         slot = self.axis.index_to_storage(index)
         self._counts[slot] += 1
@@ -81,6 +90,7 @@ class Histogram1D:
         weights: Optional[Union[Sequence[float], np.ndarray]] = None,
     ) -> None:
         """Vectorized fill of many entries at once (the engine hot path)."""
+        self._version += 1
         xs = np.asarray(xs, dtype=float)
         if xs.ndim != 1:
             raise ValueError("xs must be 1-D")
@@ -102,6 +112,7 @@ class Histogram1D:
 
     def reset(self) -> None:
         """Clear all statistics (the client's *rewind*, §3.6)."""
+        self._version += 1
         self._counts[:] = 0
         self._sumw[:] = 0.0
         self._sumw2[:] = 0.0
@@ -198,6 +209,7 @@ class Histogram1D:
     def __iadd__(self, other: "Histogram1D") -> "Histogram1D":
         """Merge *other*'s statistics into this histogram."""
         self._check_compatible(other)
+        self._version += 1
         self._counts += other._counts
         self._sumw += other._sumw
         self._sumw2 += other._sumw2
@@ -213,6 +225,7 @@ class Histogram1D:
 
     def scale(self, factor: float) -> None:
         """Multiply every weight by *factor* (keeps entry counts)."""
+        self._version += 1
         self._sumw *= factor
         self._sumw2 *= factor * factor
         self._swx *= factor
@@ -255,9 +268,9 @@ class Histogram1D:
             "name": self.name,
             "title": self.title,
             "axis": self.axis.to_dict(),
-            "counts": self._counts.tolist(),
-            "sumw": self._sumw.tolist(),
-            "sumw2": self._sumw2.tolist(),
+            "counts": encode_array(self._counts),
+            "sumw": encode_array(self._sumw),
+            "sumw2": encode_array(self._sumw2),
             "swx": self._swx,
             "swx2": self._swx2,
         }
@@ -268,9 +281,9 @@ class Histogram1D:
         hist = cls(
             data["name"], data["title"], axis=Axis.from_dict(data["axis"])
         )
-        hist._counts = np.asarray(data["counts"], dtype=np.int64)
-        hist._sumw = np.asarray(data["sumw"], dtype=float)
-        hist._sumw2 = np.asarray(data["sumw2"], dtype=float)
+        hist._counts = decode_array(data["counts"], dtype=np.int64)
+        hist._sumw = decode_array(data["sumw"], dtype=float)
+        hist._sumw2 = decode_array(data["sumw2"], dtype=float)
         hist._swx = float(data["swx"])
         hist._swx2 = float(data["swx2"])
         return hist

@@ -7,6 +7,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.aida.axis import Axis
+from repro.aida.codec import decode_array, encode_array
 from repro.aida.hist1d import Histogram1D
 
 
@@ -48,10 +49,18 @@ class Histogram2D:
         self._swy = 0.0
         self._swx2 = 0.0
         self._swy2 = 0.0
+        # Bumped on every mutation; drives delta-snapshot dirty tracking.
+        self._version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (fill/reset/merge bump it)."""
+        return self._version
 
     # -- filling ----------------------------------------------------------
     def fill(self, x: float, y: float, weight: float = 1.0) -> None:
         """Add one (x, y) entry."""
+        self._version += 1
         sx = self.x_axis.index_to_storage(self.x_axis.coord_to_index(x))
         sy = self.y_axis.index_to_storage(self.y_axis.coord_to_index(y))
         self._counts[sx, sy] += 1
@@ -70,6 +79,7 @@ class Histogram2D:
         weights: Optional[Union[Sequence[float], np.ndarray]] = None,
     ) -> None:
         """Vectorized fill of many (x, y) pairs."""
+        self._version += 1
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
         if xs.shape != ys.shape or xs.ndim != 1:
@@ -99,6 +109,7 @@ class Histogram2D:
 
     def reset(self) -> None:
         """Clear all statistics."""
+        self._version += 1
         self._counts[:] = 0
         self._sumw[:] = 0.0
         self._sumw2[:] = 0.0
@@ -212,6 +223,7 @@ class Histogram2D:
     def __iadd__(self, other: "Histogram2D") -> "Histogram2D":
         """Merge *other* into this histogram."""
         self._check_compatible(other)
+        self._version += 1
         self._counts += other._counts
         self._sumw += other._sumw
         self._sumw2 += other._sumw2
@@ -255,9 +267,9 @@ class Histogram2D:
             "title": self.title,
             "x_axis": self.x_axis.to_dict(),
             "y_axis": self.y_axis.to_dict(),
-            "counts": self._counts.tolist(),
-            "sumw": self._sumw.tolist(),
-            "sumw2": self._sumw2.tolist(),
+            "counts": encode_array(self._counts),
+            "sumw": encode_array(self._sumw),
+            "sumw2": encode_array(self._sumw2),
             "moments": [self._swx, self._swy, self._swx2, self._swy2],
         }
 
@@ -270,9 +282,9 @@ class Histogram2D:
             x_axis=Axis.from_dict(data["x_axis"]),
             y_axis=Axis.from_dict(data["y_axis"]),
         )
-        hist._counts = np.asarray(data["counts"], dtype=np.int64)
-        hist._sumw = np.asarray(data["sumw"], dtype=float)
-        hist._sumw2 = np.asarray(data["sumw2"], dtype=float)
+        hist._counts = decode_array(data["counts"], dtype=np.int64)
+        hist._sumw = decode_array(data["sumw"], dtype=float)
+        hist._sumw2 = decode_array(data["sumw2"], dtype=float)
         hist._swx, hist._swy, hist._swx2, hist._swy2 = map(
             float, data["moments"]
         )

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.aida.codec import decode_list, encode_array
 from repro.aida.hist1d import Histogram1D
 from repro.aida.hist2d import Histogram2D
 
@@ -40,10 +41,18 @@ class NTuple:
         self.title = title or name
         self.columns = tuple(columns)
         self._data: Dict[str, List[float]] = {c: [] for c in columns}
+        # Bumped on every mutation; drives delta-snapshot dirty tracking.
+        self._version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (fill/reset/merge bump it)."""
+        return self._version
 
     # -- filling ----------------------------------------------------------
     def fill(self, **values: float) -> None:
         """Append one row given as keyword arguments (all columns required)."""
+        self._version += 1
         if set(values) != set(self.columns):
             missing = set(self.columns) - set(values)
             extra = set(values) - set(self.columns)
@@ -55,6 +64,7 @@ class NTuple:
 
     def fill_row(self, row: Sequence[float]) -> None:
         """Append one row given positionally (column order)."""
+        self._version += 1
         if len(row) != len(self.columns):
             raise ValueError(
                 f"row has {len(row)} values for {len(self.columns)} columns"
@@ -147,6 +157,7 @@ class NTuple:
             raise ValueError(
                 f"column mismatch: {self.columns} vs {other.columns}"
             )
+        self._version += 1
         for column in self.columns:
             self._data[column].extend(other._data[column])
         return self
@@ -166,6 +177,7 @@ class NTuple:
 
     def reset(self) -> None:
         """Drop all rows."""
+        self._version += 1
         for column in self.columns:
             self._data[column] = []
 
@@ -183,7 +195,10 @@ class NTuple:
             "name": self.name,
             "title": self.title,
             "columns": list(self.columns),
-            "data": {c: list(v) for c, v in self._data.items()},
+            "data": {
+                c: encode_array(np.asarray(v, dtype=float))
+                for c, v in self._data.items()
+            },
         }
 
     @classmethod
@@ -191,5 +206,5 @@ class NTuple:
         """Reconstruct an ntuple serialized with :meth:`to_dict`."""
         nt = cls(data["name"], data["columns"], data["title"])
         for column in nt.columns:
-            nt._data[column] = [float(v) for v in data["data"][column]]
+            nt._data[column] = decode_list(data["data"][column])
         return nt

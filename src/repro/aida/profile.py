@@ -7,6 +7,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.aida.axis import Axis
+from repro.aida.codec import decode_array, encode_array
 
 
 class Profile1D:
@@ -40,10 +41,18 @@ class Profile1D:
         self._sumw = np.zeros(size, dtype=float)
         self._sumwy = np.zeros(size, dtype=float)
         self._sumwy2 = np.zeros(size, dtype=float)
+        # Bumped on every mutation; drives delta-snapshot dirty tracking.
+        self._version = 0
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (fill/reset/merge bump it)."""
+        return self._version
 
     # -- filling ----------------------------------------------------------
     def fill(self, x: float, y: float, weight: float = 1.0) -> None:
         """Add one (x, y) sample."""
+        self._version += 1
         slot = self.axis.index_to_storage(self.axis.coord_to_index(x))
         self._counts[slot] += 1
         self._sumw[slot] += weight
@@ -57,6 +66,7 @@ class Profile1D:
         weights: Optional[Union[Sequence[float], np.ndarray]] = None,
     ) -> None:
         """Vectorized fill of many samples."""
+        self._version += 1
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
         if xs.shape != ys.shape or xs.ndim != 1:
@@ -76,6 +86,7 @@ class Profile1D:
 
     def reset(self) -> None:
         """Clear all statistics."""
+        self._version += 1
         self._counts[:] = 0
         self._sumw[:] = 0.0
         self._sumwy[:] = 0.0
@@ -131,6 +142,7 @@ class Profile1D:
             raise ValueError(
                 f"incompatible axes for {self.name!r} and {other.name!r}"
             )
+        self._version += 1
         self._counts += other._counts
         self._sumw += other._sumw
         self._sumwy += other._sumwy
@@ -163,18 +175,18 @@ class Profile1D:
             "name": self.name,
             "title": self.title,
             "axis": self.axis.to_dict(),
-            "counts": self._counts.tolist(),
-            "sumw": self._sumw.tolist(),
-            "sumwy": self._sumwy.tolist(),
-            "sumwy2": self._sumwy2.tolist(),
+            "counts": encode_array(self._counts),
+            "sumw": encode_array(self._sumw),
+            "sumwy": encode_array(self._sumwy),
+            "sumwy2": encode_array(self._sumwy2),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "Profile1D":
         """Reconstruct a profile serialized with :meth:`to_dict`."""
         prof = cls(data["name"], data["title"], axis=Axis.from_dict(data["axis"]))
-        prof._counts = np.asarray(data["counts"], dtype=np.int64)
-        prof._sumw = np.asarray(data["sumw"], dtype=float)
-        prof._sumwy = np.asarray(data["sumwy"], dtype=float)
-        prof._sumwy2 = np.asarray(data["sumwy2"], dtype=float)
+        prof._counts = decode_array(data["counts"], dtype=np.int64)
+        prof._sumw = decode_array(data["sumw"], dtype=float)
+        prof._sumwy = decode_array(data["sumwy"], dtype=float)
+        prof._sumwy2 = decode_array(data["sumwy2"], dtype=float)
         return prof

@@ -9,7 +9,7 @@ every object present in both and copies objects present in only one.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple, Union
 
 
 class TreeError(Exception):
@@ -50,6 +50,11 @@ class ObjectTree:
 
     def __init__(self) -> None:
         self._root = _Directory()
+        # Per-path put generation: bumped whenever an object is (re)stored
+        # at a path, so replacing an object is visible to dirty tracking
+        # even when the new object's own data_version happens to match.
+        self._put_gen: Dict[str, int] = {}
+        self._put_serial = 0
 
     # -- directories ------------------------------------------------------
     def mkdir(self, path: str) -> None:
@@ -100,6 +105,8 @@ class ObjectTree:
         if leaf in node.subdirs:
             raise TreeError(f"directory exists at {path!r}; cannot store object")
         node.objects[leaf] = obj
+        self._put_serial += 1
+        self._put_gen[join_path(parts)] = self._put_serial
 
     def get(self, path: str) -> object:
         """Fetch the object at *path* (raises :class:`TreeError` if absent)."""
@@ -124,10 +131,15 @@ class ObjectTree:
         parts = split_path(path)
         *dirs, leaf = parts
         node = self._walk_to(tuple(dirs))
+        full = join_path(parts)
         if leaf in node.objects:
             del node.objects[leaf]
+            self._put_gen.pop(full, None)
         elif leaf in node.subdirs:
             del node.subdirs[leaf]
+            prefix = full + "/"
+            for key in [k for k in self._put_gen if k.startswith(prefix)]:
+                del self._put_gen[key]
         else:
             raise TreeError(f"nothing at {path!r}")
 
@@ -156,6 +168,24 @@ class ObjectTree:
 
     def __contains__(self, path: str) -> bool:
         return self.exists(path)
+
+    # -- dirty tracking ------------------------------------------------------
+    def versions(self) -> Dict[str, Tuple[int, Optional[int]]]:
+        """Per-path ``(put_generation, data_version)`` fingerprints.
+
+        The put generation changes when an object is (re)stored at a path;
+        the data version is the object's own mutation counter (``None`` for
+        objects without one, which delta snapshots must then treat as
+        always dirty).  Together they let a publisher decide which objects
+        changed since a previous call without hashing any payloads.
+        """
+        return {
+            path: (
+                self._put_gen.get(path, 0),
+                getattr(obj, "data_version", None),
+            )
+            for path, obj in self.walk()
+        }
 
     # -- merge / copy ----------------------------------------------------------
     def merge_from(self, other: "ObjectTree") -> None:
@@ -196,11 +226,22 @@ class ObjectTree:
         return f"<ObjectTree {len(self)} objects>"
 
     # -- serialization ------------------------------------------------------
-    def to_dict(self) -> dict:
-        """Serialize the tree (delegates to each object's ``to_dict``)."""
+    def to_dict(
+        self, only: Optional[Union[Set[str], FrozenSet[str]]] = None
+    ) -> dict:
+        """Serialize the tree (delegates to each object's ``to_dict``).
+
+        With *only*, serialize just the objects at those paths — the
+        delta-snapshot form published by engines when most of the tree is
+        unchanged.
+        """
         return {
             "kind": "ObjectTree",
-            "objects": {path: obj.to_dict() for path, obj in self.walk()},  # type: ignore[attr-defined]
+            "objects": {
+                path: obj.to_dict()  # type: ignore[attr-defined]
+                for path, obj in self.walk()
+                if only is None or path in only
+            },
         }
 
     @classmethod

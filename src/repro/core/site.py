@@ -67,6 +67,10 @@ class SiteConfig:
         VO policy ceiling (defaults to ``n_workers``).
     merge_fan_in:
         AIDA manager sub-merger fan-in (``None`` = flat merge).
+    incremental_merge:
+        AIDA manager keeps per-engine tree caches and re-merges only
+        dirty paths per poll (False = from-scratch merge on every poll,
+        the §2.5 bottleneck behaviour).
     session_lifetime:
         WSRF lifetime of session resources in seconds (``None`` =
         immortal).
@@ -89,6 +93,7 @@ class SiteConfig:
     n_workers: int = 16
     max_engines_per_session: Optional[int] = None
     merge_fan_in: Optional[int] = None
+    incremental_merge: bool = True
     session_lifetime: Optional[float] = None
     enable_recovery: bool = True
     heartbeat_interval: float = 5.0
@@ -272,6 +277,7 @@ class GridSite:
             merge_cost_per_tree=cal.merge_cost_per_tree_s,
             fan_in=config.merge_fan_in,
             obs=self.obs,
+            incremental=config.incremental_merge,
         )
         self.content_store = ContentStore()
         self.session_service = SessionService(

@@ -12,7 +12,7 @@ of less than a minute" (§1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.aida.tree import ObjectTree
 from repro.dataset.events import EventBatch
@@ -41,9 +41,15 @@ class Snapshot:
         Increments on every rewind, so results from an abandoned run never
         pollute the current merge.
     tree:
-        ``ObjectTree.to_dict()`` payload.
+        ``ObjectTree.to_dict()`` payload.  For a delta snapshot it holds
+        only the objects changed since snapshot ``base_sequence``.
     final:
         True when the part is exhausted.
+    base_sequence:
+        ``0`` for a full snapshot (keyframe); for a delta, the sequence
+        number of the previously published snapshot the delta applies on
+        top of.  A merger whose cached sequence differs detects the gap
+        and requests a full resend.
     """
 
     engine_id: str
@@ -54,6 +60,7 @@ class Snapshot:
     run_id: int
     tree: dict
     final: bool = False
+    base_sequence: int = 0
 
 
 @dataclass(frozen=True)
@@ -79,6 +86,14 @@ class AnalysisEngine:
         control responsiveness and simulated-time accounting).
     snapshot_every_chunks:
         Publish a snapshot every N chunks (1 = after every chunk).
+    delta_snapshots:
+        When True (default), snapshots after the first carry only objects
+        whose version fingerprints changed since the last published
+        snapshot; a full keyframe is still emitted every
+        *keyframe_every* snapshots so a merger can always resynchronize.
+    keyframe_every:
+        Cadence of full-snapshot keyframes in delta mode (>= 1; 1 means
+        every snapshot is full).
     """
 
     def __init__(
@@ -86,14 +101,20 @@ class AnalysisEngine:
         engine_id: str,
         chunk_events: int = 500,
         snapshot_every_chunks: int = 1,
+        delta_snapshots: bool = True,
+        keyframe_every: int = 8,
     ) -> None:
         if chunk_events < 1:
             raise ValueError("chunk_events must be >= 1")
         if snapshot_every_chunks < 1:
             raise ValueError("snapshot_every_chunks must be >= 1")
+        if keyframe_every < 1:
+            raise ValueError("keyframe_every must be >= 1")
         self.engine_id = engine_id
         self.chunk_events = chunk_events
         self.snapshot_every_chunks = snapshot_every_chunks
+        self.delta_snapshots = delta_snapshots
+        self.keyframe_every = keyframe_every
         self.controller = Controller()
         self.tree = ObjectTree()
         self._data: Optional[EventBatch] = None
@@ -104,6 +125,11 @@ class AnalysisEngine:
         self._run_id = 0
         self._started = False
         self._ended = False
+        # Delta-snapshot state: version fingerprints as of the last
+        # published snapshot, and how many snapshots since a keyframe.
+        self._published_versions: Optional[Dict[str, Tuple[int, Optional[int]]]] = None
+        self._published_sequence = 0
+        self._snapshots_since_keyframe = 0
         # Cumulative offsets from parts absorbed before the current one
         # (failure recovery re-dispatches a dead engine's partitions here).
         self._events_base = 0
@@ -186,6 +212,9 @@ class AnalysisEngine:
         self._sequence = 0
         self._chunks_since_snapshot = 0
         self.tree = ObjectTree()
+        self._published_versions = None
+        self._published_sequence = 0
+        self._snapshots_since_keyframe = 0
         self._started = False
         self._ended = False
         self._events_base = 0
@@ -279,9 +308,40 @@ class AnalysisEngine:
                 return total
 
     # -- snapshots ----------------------------------------------------------
-    def take_snapshot(self, final: bool = False) -> Snapshot:
-        """Serialize the current tree as a :class:`Snapshot`."""
+    def take_snapshot(self, final: bool = False, full: bool = False) -> Snapshot:
+        """Serialize the current tree as a :class:`Snapshot`.
+
+        In delta mode only objects whose version fingerprint changed since
+        the last published snapshot are serialized; a full keyframe is
+        forced by *full* (e.g. when the merger reports a sequence gap), on
+        the first snapshot of a run, and every :attr:`keyframe_every`
+        snapshots.
+        """
         self._sequence += 1
+        versions = self.tree.versions()
+        emit_full = (
+            full
+            or not self.delta_snapshots
+            or self._published_versions is None
+            or self._snapshots_since_keyframe >= self.keyframe_every - 1
+        )
+        if emit_full:
+            tree_dict = self.tree.to_dict()
+            base_sequence = 0
+            self._snapshots_since_keyframe = 0
+        else:
+            previous = self._published_versions
+            # Objects without a data_version cannot prove they are clean.
+            dirty = {
+                path
+                for path, fingerprint in versions.items()
+                if fingerprint[1] is None or previous.get(path) != fingerprint
+            }
+            tree_dict = self.tree.to_dict(only=dirty)
+            base_sequence = self._published_sequence
+            self._snapshots_since_keyframe += 1
+        self._published_versions = versions
+        self._published_sequence = self._sequence
         return Snapshot(
             engine_id=self.engine_id,
             sequence=self._sequence,
@@ -291,8 +351,9 @@ class AnalysisEngine:
                 self._analysis.version if self._analysis is not None else 0
             ),
             run_id=self._run_id,
-            tree=self.tree.to_dict(),
+            tree=tree_dict,
             final=final,
+            base_sequence=base_sequence,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -12,20 +12,36 @@ fan-in *f*, snapshots are merged through a tree of sub-mergers of degree
 ``f * ceil(log_f k)`` instead of ``k``.  ``bench_merge_tree.py`` ablates
 this.
 
+On top of the fan-in model, the manager merges **incrementally** (the
+default): it keeps a deserialized tree per engine keyed by the engine's
+snapshot sequence, accepts *delta* snapshots that carry only changed
+objects on top of an acknowledged base sequence, and maintains a partial
+merged tree in which only the paths touched since the last poll are
+re-folded.  A poll therefore costs O(dirty engines), not
+O(engines x tree size) — the ``merge_latency_incremental`` cost model
+charges the simulated clock accordingly.  ``begin_run`` (rewind),
+``discard_engine`` (failure recovery), and ``drop_session`` invalidate the
+caches so the served tree stays bit-identical to a from-scratch flat merge
+of the surviving latest snapshots (property-tested).
+
 Correctness rules:
 
 * the latest snapshot per engine wins (snapshots are cumulative);
 * snapshots from an older ``run_id`` (pre-rewind) are discarded;
+* a delta whose ``base_sequence`` does not match the cached sequence is
+  rejected with ``"resync"`` so the engine re-publishes a full keyframe;
 * merging is the exact AIDA merge, so the served tree equals a
   single-engine run over the concatenated data.
 """
 
 from __future__ import annotations
 
+import copy
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro.aida.serial import from_dict as object_from_dict
 from repro.aida.tree import ObjectTree
 from repro.engine.engine import Snapshot
 from repro.obs import NULL_OBS, Observability
@@ -90,6 +106,12 @@ class AIDAManagerService:
     fan_in:
         Sub-merger tree degree; ``None`` = flat single-node merge (§2.5's
         bottleneck case).
+    incremental:
+        When True (default), cache deserialized per-engine trees, accept
+        delta snapshots, and re-merge only dirty paths per poll.  When
+        False, every poll re-deserializes and re-merges every stored
+        snapshot (the seed behaviour) and delta snapshots are refused
+        with ``"resync"``.
     """
 
     def __init__(
@@ -98,6 +120,7 @@ class AIDAManagerService:
         merge_cost_per_tree: float = 0.05,
         fan_in: Optional[int] = None,
         obs: Optional[Observability] = None,
+        incremental: bool = True,
     ) -> None:
         if merge_cost_per_tree < 0:
             raise ValueError("merge_cost_per_tree must be >= 0")
@@ -109,11 +132,29 @@ class AIDAManagerService:
             "aida_snapshots_total",
             "Engine snapshots accepted by the AIDA manager",
         )
+        self._dropped_metric = self.obs.metrics.counter(
+            "aida_snapshots_dropped_total",
+            "Engine snapshots dropped by the AIDA manager, by reason",
+        )
         self._merge_metric = self.obs.metrics.histogram(
             "aida_merge_seconds", "AIDA merge latency (simulated seconds)"
         )
+        self._cache_hit_metric = self.obs.metrics.counter(
+            "aida_merge_cache_hits_total",
+            "Engine trees served from the incremental merge cache",
+        )
+        self._cache_miss_metric = self.obs.metrics.counter(
+            "aida_merge_cache_misses_total",
+            "Engine trees re-merged because their snapshot advanced",
+        )
+        self._dirty_engines_metric = self.obs.metrics.histogram(
+            "aida_merge_dirty_engines",
+            "Dirty engines per incremental merge",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
         self.merge_cost_per_tree = merge_cost_per_tree
         self.fan_in = fan_in
+        self.incremental = incremental
         self._snapshots: Dict[str, Dict[str, Snapshot]] = {}
         self._run_ids: Dict[str, int] = {}
         #: Engines banned per session: contributions from a dead engine's
@@ -126,26 +167,93 @@ class AIDAManagerService:
         self._recovering: Dict[str, bool] = {}
         #: (session_id, n_trees, latency) per merge, for the benchmarks.
         self.merge_log: List[tuple] = []
+        # -- incremental merge caches --
+        #: Per session: engine -> (snapshot sequence, deserialized tree).
+        self._engine_trees: Dict[str, Dict[str, Tuple[int, ObjectTree]]] = {}
+        #: Object paths whose merged value is stale.
+        self._dirty_paths: Dict[str, Set[str]] = {}
+        #: Engines whose snapshot advanced since the last poll (cost model).
+        self._dirty_engines: Dict[str, Set[str]] = {}
+        #: Partial merged tree per session (only dirty paths re-folded).
+        self._merged: Dict[str, ObjectTree] = {}
 
     # -- ingestion ----------------------------------------------------------
-    def submit_snapshot(self, session_id: str, snapshot: Snapshot) -> None:
-        """Accept an engine snapshot (latest-per-engine, current run only)."""
+    def submit_snapshot(self, session_id: str, snapshot: Snapshot) -> str:
+        """Accept an engine snapshot (latest-per-engine, current run only).
+
+        Returns ``"accepted"``, ``"dropped"`` (banned engine, stale run, or
+        out-of-order duplicate), or ``"resync"`` — the snapshot was a delta
+        the manager cannot apply (sequence gap, or incremental merging is
+        off) and the engine must publish a full keyframe.
+        """
         if snapshot.engine_id in self._banned.get(session_id, ()):
-            return  # late submission from a dead engine's epoch
+            # Late submission from a dead engine's epoch.
+            self._dropped_metric.inc(reason="banned")
+            return "dropped"
         current_run = self._run_ids.get(session_id, 0)
         if snapshot.run_id > current_run:
             # A rewind happened: everything older is now invalid.
             self._run_ids[session_id] = snapshot.run_id
             self._snapshots[session_id] = {}
+            self._invalidate_session_caches(session_id)
             current_run = snapshot.run_id
         elif snapshot.run_id < current_run:
-            return  # stale snapshot from before the rewind
+            # Stale snapshot from before the rewind.
+            self._dropped_metric.inc(reason="stale_run")
+            return "dropped"
         session = self._snapshots.setdefault(session_id, {})
         existing = session.get(snapshot.engine_id)
         if existing is not None and existing.sequence >= snapshot.sequence:
-            return  # out-of-order delivery
+            self._dropped_metric.inc(reason="out_of_order")
+            return "dropped"
+        # Freeze the payload: the submitter keeps a live reference to the
+        # tree dict, and a later in-place mutation must not be able to
+        # reach into stored snapshots (or the merged result).
+        snapshot = replace(snapshot, tree=copy.deepcopy(snapshot.tree))
+        status = self._ingest_tree(session_id, snapshot)
+        if status != "accepted":
+            self._dropped_metric.inc(reason="gap")
+            return status
         session[snapshot.engine_id] = snapshot
         self._snapshot_metric.inc()
+        return "accepted"
+
+    def _ingest_tree(self, session_id: str, snapshot: Snapshot) -> str:
+        """Fold an otherwise-valid snapshot into the per-engine tree cache."""
+        if snapshot.base_sequence != 0 and not self.incremental:
+            return "resync"  # cannot apply a delta without the cache
+        if not self.incremental:
+            return "accepted"
+        trees = self._engine_trees.setdefault(session_id, {})
+        dirty_paths = self._dirty_paths.setdefault(session_id, set())
+        dirty_engines = self._dirty_engines.setdefault(session_id, set())
+        cached = trees.get(snapshot.engine_id)
+        if snapshot.base_sequence == 0:
+            # Full keyframe: replace the cached tree outright.  Everything
+            # it previously contributed and everything it now contributes
+            # must be re-folded.
+            new_tree = ObjectTree.from_dict(snapshot.tree)
+            if cached is not None:
+                dirty_paths.update(cached[1].paths())
+            dirty_paths.update(new_tree.paths())
+            trees[snapshot.engine_id] = (snapshot.sequence, new_tree)
+            dirty_engines.add(snapshot.engine_id)
+            return "accepted"
+        if cached is None or cached[0] != snapshot.base_sequence:
+            # Sequence gap (a snapshot was lost, or we never saw a
+            # keyframe): the delta cannot be applied safely.
+            return "resync"
+        tree = cached[1]
+        changed = snapshot.tree.get("objects", {})
+        for path, obj_data in changed.items():
+            if tree.exists(path):
+                tree.remove(path)
+            tree.put(path, object_from_dict(obj_data))
+            dirty_paths.add(path)
+        trees[snapshot.engine_id] = (snapshot.sequence, tree)
+        if changed:
+            dirty_engines.add(snapshot.engine_id)
+        return "accepted"
 
     def begin_run(self, session_id: str, run_id: int) -> None:
         """Invalidate snapshots older than *run_id* (a rewind happened).
@@ -158,6 +266,14 @@ class AIDAManagerService:
         if run_id > current:
             self._run_ids[session_id] = run_id
             self._snapshots[session_id] = {}
+            self._invalidate_session_caches(session_id)
+
+    def _invalidate_session_caches(self, session_id: str) -> None:
+        """Drop every incremental cache for a session (rewind/close)."""
+        self._engine_trees.pop(session_id, None)
+        self._dirty_paths.pop(session_id, None)
+        self._dirty_engines.pop(session_id, None)
+        self._merged.pop(session_id, None)
 
     # -- failure recovery ---------------------------------------------------
     def discard_engine(self, session_id: str, engine_id: str) -> None:
@@ -170,6 +286,13 @@ class AIDAManagerService:
         """
         self._snapshots.get(session_id, {}).pop(engine_id, None)
         self._banned.setdefault(session_id, set()).add(engine_id)
+        entry = self._engine_trees.get(session_id, {}).pop(engine_id, None)
+        if entry is not None:
+            # Every path it contributed must be re-folded without it.
+            self._dirty_paths.setdefault(session_id, set()).update(
+                entry[1].paths()
+            )
+            self._dirty_engines.setdefault(session_id, set()).add(engine_id)
 
     def banned_engines(self, session_id: str) -> set:
         """Engines whose contributions are discarded for this session."""
@@ -192,10 +315,11 @@ class AIDAManagerService:
         self._banned.pop(session_id, None)
         self._expected.pop(session_id, None)
         self._recovering.pop(session_id, None)
+        self._invalidate_session_caches(session_id)
 
     # -- merge model ----------------------------------------------------------
     def merge_latency(self, n_trees: int) -> float:
-        """Simulated seconds to merge *n_trees* snapshot trees.
+        """Simulated seconds to merge *n_trees* snapshot trees from scratch.
 
         Flat: ``cost * n``.  Tree of fan-in *f*: levels run in parallel, so
         latency is ``cost * f * ceil(log_f n)`` (each level merges groups
@@ -208,25 +332,90 @@ class AIDAManagerService:
         levels = math.ceil(math.log(n_trees, self.fan_in))
         return self.merge_cost_per_tree * self.fan_in * max(1, levels)
 
+    def merge_latency_incremental(self, n_dirty: int, n_total: int) -> float:
+        """Simulated seconds for an incremental merge.
+
+        Only engines whose snapshot advanced since the last poll cost
+        anything (``cost * n_dirty``), capped at the from-scratch
+        :meth:`merge_latency` — re-merging everything incrementally can
+        never be slower than rebuilding from scratch.
+        """
+        if n_dirty <= 0 or n_total <= 0:
+            return 0.0
+        return min(
+            self.merge_cost_per_tree * n_dirty, self.merge_latency(n_total)
+        )
+
     # -- serving ------------------------------------------------------------
+    def _recompute_merged(self, session_id: str) -> ObjectTree:
+        """Re-fold only the dirty paths of the cached merged tree.
+
+        The per-path fold runs over the cached engine trees in sorted
+        engine order — the exact association order of a from-scratch
+        ``merge_from`` fold — so the result is bit-identical to a flat
+        merge of the same snapshots.
+        """
+        cache = self._merged.setdefault(session_id, ObjectTree())
+        dirty = self._dirty_paths.get(session_id)
+        if not dirty:
+            return cache
+        trees = self._engine_trees.get(session_id, {})
+        ordered = [trees[engine][1] for engine in sorted(trees)]
+        for path in sorted(dirty):
+            contributions = [
+                tree.get(path) for tree in ordered if tree.exists(path)
+            ]
+            if cache.exists(path):
+                cache.remove(path)
+            if contributions:
+                acc = contributions[0].copy()
+                for obj in contributions[1:]:
+                    acc += obj
+                cache.put(path, acc)
+        dirty.clear()
+        return cache
+
     def merged(self, session_id: str) -> Process:
         """Merge the latest snapshots; value is ``(tree_dict, progress)``.
 
-        Charges the merge latency on the simulated clock, then performs the
-        exact merge.
+        Charges the merge latency on the simulated clock, then performs
+        the exact merge (only re-folding dirty paths in incremental mode).
         """
         span = self.obs.tracer.child("aida.merge", session=session_id)
 
         def run():
             session = dict(self._snapshots.get(session_id, {}))
-            span.set(n_trees=len(session))
-            latency = self.merge_latency(len(session))
+            n_total = len(session)
+            if self.incremental:
+                n_dirty = len(self._dirty_engines.get(session_id, ()))
+                latency = self.merge_latency_incremental(n_dirty, n_total)
+            else:
+                n_dirty = n_total
+                latency = self.merge_latency(n_total)
+            span.set(n_trees=n_total, n_dirty=n_dirty)
             if latency:
                 yield self.env.timeout(latency)
             self._merge_metric.observe(latency)
-            merged_tree = ObjectTree()
-            for snapshot in sorted(session.values(), key=lambda s: s.engine_id):
-                merged_tree.merge_from(ObjectTree.from_dict(snapshot.tree))
+            if self.incremental:
+                # Submissions may have landed while the latency elapsed;
+                # fold whatever is dirty *now* so the served tree matches
+                # the freshest snapshots.
+                session = dict(self._snapshots.get(session_id, {}))
+                n_total = len(session)
+                dirty_engines = self._dirty_engines.get(session_id)
+                n_dirty = len(dirty_engines) if dirty_engines else 0
+                self._cache_hit_metric.inc(max(0, n_total - n_dirty))
+                self._cache_miss_metric.inc(n_dirty)
+                self._dirty_engines_metric.observe(n_dirty)
+                merged_tree = self._recompute_merged(session_id)
+                if dirty_engines:
+                    dirty_engines.clear()
+            else:
+                merged_tree = ObjectTree()
+                for snapshot in sorted(
+                    session.values(), key=lambda s: s.engine_id
+                ):
+                    merged_tree.merge_from(ObjectTree.from_dict(snapshot.tree))
             progress = MergeProgress(
                 session_id=session_id,
                 engines_reporting=len(session),

@@ -24,6 +24,7 @@ import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro.aida.codec import payload_nbytes
 from repro.obs import NULL_OBS, Observability
 from repro.resilience.retry import RetryPolicy
 from repro.sim import Environment, Process
@@ -274,6 +275,15 @@ class ServiceContainer:
             "service_call_seconds",
             "Service call latency (request to response, simulated seconds)",
         ).observe(self.env.now - started, channel=envelope.channel)
+        if metrics.enabled:
+            # Response payload accounting: how many bytes each operation
+            # ships back (merged trees dominate; the codec + delta work
+            # shows up here).  Estimated, so the hot path never pays for a
+            # real serialization.
+            metrics.counter(
+                "service_response_bytes_total",
+                "Estimated serialized response bytes per operation",
+            ).inc(payload_nbytes(result), operation=key)
         self.call_log.append(
             (envelope.service, envelope.operation, envelope.channel)
         )

@@ -46,6 +46,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - annotation-only
     from repro.core.config import Calibration
 
+from repro.aida.codec import payload_nbytes
 from repro.engine.controls import Command
 from repro.engine.engine import AnalysisEngine, Snapshot
 from repro.engine.sandbox import CodeBundle
@@ -154,10 +155,17 @@ class EngineHost:
             "engine_chunk_seconds",
             "Per-chunk processing time (simulated seconds)",
         )
+        self._payload_metric = metrics.counter(
+            "aida_snapshot_payload_bytes_total",
+            "Serialized snapshot payload bytes published to the AIDA "
+            "manager, by snapshot kind (full keyframe vs delta)",
+        )
         self.engine = AnalysisEngine(
             engine_id,
             chunk_events=calibration.chunk_events,
             snapshot_every_chunks=calibration.snapshot_every_chunks,
+            delta_snapshots=getattr(calibration, "delta_snapshots", True),
+            keyframe_every=getattr(calibration, "keyframe_every_snapshots", 8),
         )
         self.mailbox: Optional[Store] = None
         self._part: Optional[PartDescriptor] = None
@@ -287,9 +295,7 @@ class EngineHost:
         else:
             self._pending.append((part, content, batch))
         yield env.timeout(cal.rmi_latency_s)
-        self.aida.submit_snapshot(
-            self.session_id, self.engine.take_snapshot(final=False)
-        )
+        yield from self._publish(env, self.engine.take_snapshot(final=False))
         if ack is not None and not ack.triggered:
             ack.succeed(self.engine_id)
 
@@ -297,6 +303,24 @@ class EngineHost:
         part, _content, batch = owned
         self._part = part
         self.engine.load_additional_data(batch)
+
+    def _publish(self, env: Environment, snapshot: Snapshot):
+        """Submit a snapshot; answer a ``"resync"`` with a full keyframe.
+
+        The manager asks for a resync when it cannot apply a delta (its
+        per-engine cache was invalidated, or a snapshot was lost), so the
+        engine follows up with a full snapshot after another RMI hop.
+        """
+        self._payload_metric.inc(
+            payload_nbytes(snapshot.tree),
+            kind="full" if snapshot.base_sequence == 0 else "delta",
+        )
+        status = self.aida.submit_snapshot(self.session_id, snapshot)
+        if status == "resync":
+            yield env.timeout(self.calibration.rmi_latency_s)
+            full = self.engine.take_snapshot(final=snapshot.final, full=True)
+            self._payload_metric.inc(payload_nbytes(full.tree), kind="full")
+            self.aida.submit_snapshot(self.session_id, full)
 
     def _apply_control(self, verb: str, arg) -> None:
         controller = self.engine.controller
@@ -366,7 +390,7 @@ class EngineHost:
                     # still queued: this is not the engine's last word.
                     snapshot = replace(snapshot, final=False)
                 yield env.timeout(cal.rmi_latency_s)
-                self.aida.submit_snapshot(self.session_id, snapshot)
+                yield from self._publish(env, snapshot)
             if result.done and self._pending:
                 self._absorb(self._pending.pop(0))
                 continue

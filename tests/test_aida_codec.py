@@ -1,0 +1,274 @@
+"""Tests for the compact array codec (repro.aida.codec)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.aida.axis import Axis
+from repro.aida.cloud import Cloud1D
+from repro.aida.codec import (
+    MIN_CODEC_SIZE,
+    codec_disabled,
+    codec_enabled,
+    decode_array,
+    decode_list,
+    encode_array,
+    is_encoded,
+    payload_nbytes,
+    set_codec_enabled,
+)
+from repro.aida.hist1d import Histogram1D
+from repro.aida.hist2d import Histogram2D
+from repro.aida.ntuple import NTuple
+from repro.aida.profile import Profile1D
+from repro.aida.serial import from_dict, to_dict
+
+
+# ---------------------------------------------------------------------------
+# encode/decode primitives
+# ---------------------------------------------------------------------------
+
+def test_small_arrays_stay_plain_lists():
+    arr = np.arange(MIN_CODEC_SIZE - 1, dtype=float)
+    encoded = encode_array(arr)
+    assert isinstance(encoded, list)
+    assert encoded == arr.tolist()
+
+
+def test_large_arrays_get_encoded():
+    arr = np.arange(MIN_CODEC_SIZE, dtype=float)
+    encoded = encode_array(arr)
+    assert is_encoded(encoded)
+    assert encoded["dtype"] == arr.dtype.str
+    assert encoded["shape"] == [MIN_CODEC_SIZE]
+    # The whole thing must survive JSON (the wire format).
+    json.dumps(encoded)
+
+
+@pytest.mark.parametrize(
+    "dtype", [np.int64, np.float64, np.int32, np.float32]
+)
+def test_roundtrip_is_bit_exact(dtype):
+    rng = np.random.default_rng(7)
+    arr = (rng.random(100) * 1000).astype(dtype)
+    decoded = decode_array(encode_array(arr))
+    assert decoded.dtype == arr.dtype
+    assert np.array_equal(decoded, arr)
+    # Raw-byte exactness for floats, not approximate equality.
+    assert decoded.tobytes() == arr.tobytes()
+
+
+def test_roundtrip_2d_shape():
+    arr = np.arange(48, dtype=float).reshape(6, 8)
+    decoded = decode_array(encode_array(arr))
+    assert decoded.shape == (6, 8)
+    assert np.array_equal(decoded, arr)
+
+
+def test_decoded_arrays_are_writable():
+    arr = np.arange(64, dtype=float)
+    decoded = decode_array(encode_array(arr))
+    decoded[0] = -1.0  # must not raise (frombuffer alone is read-only)
+    plain = decode_array(arr.tolist(), dtype=float)
+    plain[0] = -1.0
+
+
+def test_decode_accepts_plain_lists():
+    out = decode_array([1, 2, 3], dtype=np.int64)
+    assert out.dtype == np.int64
+    assert out.tolist() == [1, 2, 3]
+
+
+def test_decode_casts_to_requested_dtype():
+    arr = np.arange(32, dtype=np.float64)
+    out = decode_array(encode_array(arr), dtype=np.int64)
+    assert out.dtype == np.int64
+
+
+def test_decode_list_both_forms():
+    values = [float(v) for v in range(40)]
+    assert decode_list(values) == values
+    assert decode_list(encode_array(np.asarray(values))) == values
+
+
+def test_codec_disable_toggle():
+    arr = np.arange(64, dtype=float)
+    assert codec_enabled()
+    with codec_disabled():
+        assert not codec_enabled()
+        assert isinstance(encode_array(arr), list)
+    assert codec_enabled()
+    set_codec_enabled(False)
+    try:
+        assert isinstance(encode_array(arr), list)
+    finally:
+        set_codec_enabled(True)
+
+
+# ---------------------------------------------------------------------------
+# payload size model
+# ---------------------------------------------------------------------------
+
+def test_payload_nbytes_tracks_json_size():
+    payload = {
+        "kind": "Histogram1D",
+        "counts": list(range(100)),
+        "swx": 1.5,
+        "name": "h",
+    }
+    estimate = payload_nbytes(payload)
+    actual = len(json.dumps(payload))
+    assert 0.5 * actual < estimate < 2.0 * actual
+
+
+def test_payload_nbytes_encoded_smaller_than_lists():
+    # Full-precision doubles cost ~18 JSON chars each but only 10.7 base64
+    # chars (8 raw bytes x 4/3) in the compact form.
+    arr = np.random.default_rng(11).random(500)
+    encoded = payload_nbytes(encode_array(arr))
+    with codec_disabled():
+        plain = payload_nbytes(encode_array(arr))
+    assert encoded < 0.6 * plain
+
+
+# ---------------------------------------------------------------------------
+# adoption by the object classes
+# ---------------------------------------------------------------------------
+
+def _filled_hist1d(bins=200, n=1000):
+    hist = Histogram1D("h", bins=bins, lower=0.0, upper=1.0)
+    rng = np.random.default_rng(3)
+    hist.fill_array(rng.random(n), rng.random(n))
+    return hist
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: _filled_hist1d(),
+    lambda: _fill_hist2d(),
+    lambda: _fill_profile(),
+    lambda: _fill_cloud(),
+    lambda: _fill_ntuple(),
+])
+def test_objects_roundtrip_bit_exact_through_codec(factory):
+    obj = factory()
+    data = json.loads(json.dumps(to_dict(obj)))  # force a real wire trip
+    restored = from_dict(data)
+    assert to_dict(restored) == to_dict(obj)
+
+
+def _fill_hist2d():
+    hist = Histogram2D(
+        "h2", x_bins=30, x_lower=0, x_upper=1, y_bins=30, y_lower=0, y_upper=1
+    )
+    rng = np.random.default_rng(4)
+    hist.fill_array(rng.random(500), rng.random(500), rng.random(500))
+    return hist
+
+
+def _fill_profile():
+    prof = Profile1D("p", bins=100, lower=0, upper=1)
+    rng = np.random.default_rng(5)
+    prof.fill_array(rng.random(400), rng.random(400))
+    return prof
+
+
+def _fill_cloud():
+    cloud = Cloud1D("c", max_points=10_000)
+    rng = np.random.default_rng(6)
+    for x, w in zip(rng.random(200), rng.random(200)):
+        cloud.fill(float(x), float(w))
+    return cloud
+
+
+def _fill_ntuple():
+    nt = NTuple("n", columns=("x", "y"))
+    rng = np.random.default_rng(8)
+    for x, y in zip(rng.random(60), rng.random(60)):
+        nt.fill(x=float(x), y=float(y))
+    return nt
+
+
+def test_hist1d_wire_form_uses_codec_when_large():
+    hist = _filled_hist1d(bins=200)
+    data = hist.to_dict()
+    assert is_encoded(data["counts"])
+    assert is_encoded(data["sumw"])
+    small = Histogram1D("s", bins=10, lower=0, upper=1).to_dict()
+    assert isinstance(small["counts"], list)
+
+
+def test_axis_variable_edges_roundtrip():
+    edges = np.linspace(0.0, 1.0, 50) ** 2
+    axis = Axis(edges=edges)
+    restored = Axis.from_dict(axis.to_dict())
+    assert restored == axis
+    assert is_encoded(axis.to_dict()["edges"])
+
+
+def test_pre_codec_payloads_still_deserialize():
+    hist = _filled_hist1d(bins=200)
+    with codec_disabled():
+        legacy = hist.to_dict()
+    assert isinstance(legacy["counts"], list)
+    restored = Histogram1D.from_dict(legacy)
+    assert restored == hist
+
+
+# ---------------------------------------------------------------------------
+# data_version counters (delta-snapshot dirty tracking)
+# ---------------------------------------------------------------------------
+
+def test_data_version_bumps_on_mutation():
+    hist = Histogram1D("h", bins=10, lower=0, upper=1)
+    v0 = hist.data_version
+    hist.fill(0.5)
+    assert hist.data_version > v0
+    v1 = hist.data_version
+    hist.fill_array([0.1, 0.2])
+    assert hist.data_version > v1
+    v2 = hist.data_version
+    hist.reset()
+    assert hist.data_version > v2
+    other = Histogram1D("h", bins=10, lower=0, upper=1)
+    v3 = hist.data_version
+    hist += other
+    assert hist.data_version > v3
+
+
+def test_data_version_stable_without_mutation():
+    hist = _filled_hist1d()
+    before = hist.data_version
+    hist.to_dict()
+    _ = hist.mean, hist.rms, hist.entries
+    assert hist.data_version == before
+
+
+def test_tree_versions_fingerprints():
+    from repro.aida.tree import ObjectTree
+
+    tree = ObjectTree()
+    hist = Histogram1D("h", bins=10, lower=0, upper=1)
+    tree.put("/dir/h", hist)
+    v1 = tree.versions()
+    assert set(v1) == {"/dir/h"}
+    hist.fill(0.5)
+    v2 = tree.versions()
+    assert v2["/dir/h"] != v1["/dir/h"]
+    # Re-putting a fresh object changes the put generation.
+    tree.remove("/dir/h")
+    tree.put("/dir/h", Histogram1D("h", bins=10, lower=0, upper=1))
+    v3 = tree.versions()
+    assert v3["/dir/h"][0] != v2["/dir/h"][0]
+
+
+def test_tree_to_dict_only_filter():
+    from repro.aida.tree import ObjectTree
+
+    tree = ObjectTree()
+    tree.put("/a", Histogram1D("a", bins=5, lower=0, upper=1))
+    tree.put("/b", Histogram1D("b", bins=5, lower=0, upper=1))
+    full = tree.to_dict()
+    partial = tree.to_dict(only={"/b"})
+    assert set(full["objects"]) == {"/a", "/b"}
+    assert set(partial["objects"]) == {"/b"}

@@ -70,21 +70,37 @@ class IPAClient:
         """Create the Grid proxy (no service interaction; instantaneous)."""
         return self.proxy_plugin.obtain_proxy(lifetime)
 
-    def connect(self, n_engines: Optional[int] = None):
-        """Generator op: authenticate and create the session (steps 2-3)."""
+    def connect(
+        self,
+        n_engines: Optional[int] = None,
+        dataset_hint: Optional[str] = None,
+    ):
+        """Generator op: authenticate and create the session (steps 2-3).
+
+        *dataset_hint* names the dataset this session will analyze, so
+        engine placement can prefer workers already caching its parts.
+        """
         info: SessionInfo = yield self.site.container.call(
             "control",
             "create_session",
-            {"client_chain": self.proxy_plugin.chain, "n_engines": n_engines},
+            {
+                "client_chain": self.proxy_plugin.chain,
+                "n_engines": n_engines,
+                "dataset_hint": dataset_hint,
+            },
         )
         self.session = info
         self.data_plugin.bind(info.session_id, info.token)
         return info
 
-    def obtain_proxy_and_connect(self, n_engines: Optional[int] = None):
+    def obtain_proxy_and_connect(
+        self,
+        n_engines: Optional[int] = None,
+        dataset_hint: Optional[str] = None,
+    ):
         """Generator op: steps 1-3 in one go."""
         self.obtain_proxy()
-        info = yield from self.connect(n_engines)
+        info = yield from self.connect(n_engines, dataset_hint=dataset_hint)
         return info
 
     def _require_session(self) -> SessionInfo:

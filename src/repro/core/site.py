@@ -41,6 +41,7 @@ from repro.grid.security import (
 )
 from repro.grid.transfer import GridFTPService
 from repro.obs import Observability
+from repro.replica import ReplicaManager
 from repro.resilience import FailureInjector, RecoveryConfig, RetryPolicy
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService, DatasetEntry
@@ -88,6 +89,16 @@ class SiteConfig:
         Record spans and metrics across every tier (see :mod:`repro.obs`).
         Off by default: instrumentation then routes through shared null
         objects and costs almost nothing.
+    enable_replica_cache:
+        Run the replica catalog + per-worker caches (see
+        :mod:`repro.replica`): repeated stages of the same dataset reuse
+        SE part files and worker-cached parts instead of re-running the
+        fetch/split/scatter pipeline.  A fully cold stage is timed
+        identically either way.
+    worker_cache_mb:
+        Per-worker cache capacity in MB (``None`` = unbounded).
+    replica_ttl_s:
+        Optional staleness TTL for unpinned cached parts.
     """
 
     n_workers: int = 16
@@ -101,6 +112,9 @@ class SiteConfig:
     retry_jitter: float = 0.25
     retry_seed: int = 0
     enable_observability: bool = False
+    enable_replica_cache: bool = True
+    worker_cache_mb: Optional[float] = None
+    replica_ttl_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -280,6 +294,26 @@ class GridSite:
             incremental=config.incremental_merge,
         )
         self.content_store = ContentStore()
+        # Replica catalog + per-worker caches (warm re-staging, §4's
+        # repeat-analysis scenario); None disables caching entirely.
+        self.replicas = (
+            ReplicaManager(
+                env,
+                net,
+                self.storage,
+                self.workers,
+                capacity_mb=config.worker_cache_mb,
+                ttl_s=config.replica_ttl_s,
+                se_disk_mbps=cal.se_disk_mbps,
+                obs=self.obs,
+            )
+            if config.enable_replica_cache
+            else None
+        )
+        if self.replicas is not None:
+            # Dataset re-registration bumps the generation, invalidating
+            # every replica cut from the previous content.
+            self.locator.add_update_hook(self.replicas.dataset_updated)
         self.session_service = SessionService(
             env=env,
             gram=self.gram,
@@ -303,9 +337,12 @@ class GridSite:
                 else None
             ),
             obs=self.obs,
+            replicas=self.replicas,
         )
         # Deterministic fault injection for chaos tests and benchmarks.
-        self.injector = FailureInjector(env, self.scheduler, network=net)
+        self.injector = FailureInjector(
+            env, self.scheduler, network=net, replicas=self.replicas
+        )
         self.control = ControlService(
             env, self.ca, self.service_credential, self.session_service, self.container
         )

@@ -130,6 +130,7 @@ class GramGatekeeper:
         body_factory: Callable[
             [int], Callable[[Environment, WorkerNode], Generator]
         ],
+        preferred: Optional[Sequence[str]] = None,
     ) -> GramSubmission:
         """Authenticate, authorize and enqueue ``description.count`` jobs.
 
@@ -138,6 +139,12 @@ class GramGatekeeper:
         body_factory:
             Called with the engine index (0-based) to produce each job body
             — engines need distinct identities for the registry.
+        preferred:
+            Data-affinity hint forwarded to the scheduler: worker names
+            (best first) that already cache parts of the dataset the
+            session will analyze.  Sequential dispatch spreads the hint
+            across the engines — each job takes the best still-idle
+            preferred worker.
 
         Raises
         ------
@@ -177,6 +184,7 @@ class GramGatekeeper:
                 name=f"{description.executable}#{index}",
                 queue=queue,
                 body=self._with_auth_overhead(body_factory(index)),
+                preferred=list(preferred) if preferred else None,
             )
             for index in range(description.count)
         ]
@@ -200,6 +208,7 @@ class GramGatekeeper:
             [int], Callable[[Environment, WorkerNode], Generator]
         ],
         policy: Optional[RetryPolicy] = None,
+        preferred: Optional[Sequence[str]] = None,
     ) -> Generator:
         """Like :meth:`submit`, retrying transient gatekeeper outages.
 
@@ -212,7 +221,10 @@ class GramGatekeeper:
         last_error: Optional[GramUnavailable] = None
         for attempt in range(policy.max_attempts):
             try:
-                return self.submit(description, credential_chain, body_factory)
+                return self.submit(
+                    description, credential_chain, body_factory,
+                    preferred=preferred,
+                )
             except GramUnavailable as exc:
                 last_error = exc
                 if not policy.should_retry(attempt, self.env.now - start):

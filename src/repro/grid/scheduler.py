@@ -90,11 +90,14 @@ class Job:
         queue: str,
         body: Callable[[Environment, WorkerNode], Generator],
         env: Environment,
+        preferred: Optional[List[str]] = None,
     ) -> None:
         self.id = job_id
         self.name = name
         self.queue = queue
         self.body = body
+        #: Worker names to try first (data affinity), best first.
+        self.preferred = list(preferred or [])
         self.state = JobState.PENDING
         self.worker: Optional[WorkerNode] = None
         self.submit_time = env.now
@@ -154,11 +157,21 @@ class BatchScheduler:
         name: str,
         queue: str,
         body: Callable[[Environment, WorkerNode], Generator],
+        preferred: Optional[List[str]] = None,
     ) -> Job:
-        """Queue a job; returns the :class:`Job` handle immediately."""
+        """Queue a job; returns the :class:`Job` handle immediately.
+
+        *preferred* names workers to place the job on if idle and healthy
+        (data-affinity hint from the replica catalog: land the engine
+        where its dataset parts are already cached); placement falls back
+        to the first idle worker when none of them is available.
+        """
         if queue not in self._queues:
             raise SchedulerError(f"unknown queue {queue!r}")
-        job = Job(next(self._job_seq), name, queue, body, self.env)
+        job = Job(
+            next(self._job_seq), name, queue, body, self.env,
+            preferred=preferred,
+        )
         self._jobs[job.id] = job
         self._pending.append(job)
         self._kick()
@@ -233,15 +246,26 @@ class BatchScheduler:
     def _dispatcher(self):
         while True:
             # Dispatch as many jobs as there are idle workers, in
-            # (queue priority, submission order) order.
+            # (queue priority, submission order) order.  Each job lands on
+            # its first available preferred worker (data affinity), or the
+            # first idle worker when it has no reachable preference.
             while self._pending:
-                worker = next((w for w in self._idle if not w.failed), None)
-                if worker is None:
+                healthy = [w for w in self._idle if not w.failed]
+                if not healthy:
                     break
                 job = min(
                     self._pending,
                     key=lambda j: (self._queues[j.queue].priority, j.id),
                 )
+                worker = None
+                for name in job.preferred:
+                    worker = next(
+                        (w for w in healthy if w.name == name), None
+                    )
+                    if worker is not None:
+                        break
+                if worker is None:
+                    worker = healthy[0]
                 self._pending.remove(job)
                 self._idle.remove(worker)
                 self.env.process(self._run_job(job, worker))

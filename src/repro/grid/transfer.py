@@ -251,7 +251,10 @@ class GridFTPService:
 
         Parts are read from the SE spindle strictly in order (serial); each
         part's network transfer starts as soon as its read finishes and
-        overlaps with the next read.  The process value is a
+        overlaps with the next read.  A part delivery that fails mid-flight
+        (injected failure or link outage) is restarted under the service's
+        :class:`RetryPolicy` without re-reading the spindle; the report is
+        only returned once every part landed.  The process value is a
         :class:`ScatterReport`.
         """
         if len(parts) != len(destinations):
@@ -265,6 +268,8 @@ class GridFTPService:
             "ftp.scatter", parts=len(parts), mb=sum(p[1] for p in parts)
         )
 
+        policy = self.retry_policy
+
         def run():
             started = self.env.now
             if self.setup_overhead:
@@ -273,8 +278,19 @@ class GridFTPService:
             for (part_name, part_mb), dest in zip(parts, destinations):
                 # Serial stage: the single spindle.
                 yield source.sequential_read(part_mb)
+                salt = next(self._transfer_seq)
 
-                def deliver(part_name=part_name, part_mb=part_mb, dest=dest):
+                def attempt(part_name=part_name, part_mb=part_mb, dest=dest):
+                    if self._consume_failure():
+                        # Mid-flight abort: half the transfer time is lost
+                        # (same restart model as transfer_file).
+                        yield self.network.transfer(
+                            source.name, dest.name, part_mb / 2, stream_cap=cap
+                        )
+                        raise TransferError(
+                            f"scatter of {part_name!r} to {dest.name} "
+                            f"aborted mid-flight"
+                        )
                     stats = yield self.network.transfer(
                         source.name, dest.name, part_mb, stream_cap=cap
                     )
@@ -284,6 +300,33 @@ class GridFTPService:
                         "ftp_bytes_mb_total", "Payload moved over GridFTP (MB)"
                     ).inc(part_mb)
                     return stats
+
+                def deliver(attempt=attempt, salt=salt):
+                    attempt_started = self.env.now
+                    last_error: Optional[Exception] = None
+                    for attempt_index in range(policy.max_attempts):
+                        try:
+                            result = yield self.env.process(attempt())
+                            return result
+                        except (TransferError, LinkDown) as exc:
+                            last_error = exc
+                            metrics.counter(
+                                "ftp_retries_total",
+                                "GridFTP transfer attempts that failed "
+                                "mid-flight",
+                            ).inc()
+                            if not policy.should_retry(
+                                attempt_index, self.env.now - attempt_started
+                            ):
+                                break
+                            delay = policy.delay(attempt_index, salt)
+                            if delay:
+                                yield self.env.timeout(delay)
+                    metrics.counter(
+                        "ftp_failures_total",
+                        "GridFTP transfers that exhausted retries",
+                    ).inc()
+                    raise last_error
 
                 sends.append(
                     self.env.process(

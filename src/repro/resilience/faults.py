@@ -28,11 +28,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from repro.grid.network import Network
 from repro.grid.scheduler import BatchScheduler
 from repro.sim import Environment, LinkDown, NodeCrash, NodeHang
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.replica.manager import ReplicaManager
 
 #: Recognised fault kinds.
 FAULT_KINDS = ("crash", "hang", "slow", "link-down")
@@ -119,6 +122,9 @@ class FailureInjector:
         workers.
     network:
         Needed only for ``link-down`` faults.
+    replicas:
+        Optional replica manager: worker-killing faults then invalidate
+        the victim's cached dataset parts so no stale replica is served.
     """
 
     def __init__(
@@ -126,10 +132,12 @@ class FailureInjector:
         env: Environment,
         scheduler: BatchScheduler,
         network: Optional[Network] = None,
+        replicas: Optional["ReplicaManager"] = None,
     ) -> None:
         self.env = env
         self.scheduler = scheduler
         self.network = network
+        self.replicas = replicas
         #: Chronological record of injected faults: (time, kind, worker).
         self.log: List[Tuple[float, str, str]] = []
 
@@ -139,6 +147,8 @@ class FailureInjector:
         worker = self.scheduler.element.worker(name)
         worker.failed = True
         self._interrupt_job(name, NodeCrash(name, "worker crashed"))
+        if self.replicas is not None:
+            self.replicas.invalidate_host(name)
         self.log.append((self.env.now, "crash", name))
 
     def hang_worker(self, name: str) -> None:
@@ -146,6 +156,8 @@ class FailureInjector:
         worker = self.scheduler.element.worker(name)
         worker.failed = True
         self._interrupt_job(name, NodeHang(name, "worker hung"))
+        if self.replicas is not None:
+            self.replicas.invalidate_host(name)
         self.log.append((self.env.now, "hang", name))
 
     def slow_worker(self, name: str, factor: float = 4.0) -> None:
@@ -169,6 +181,10 @@ class FailureInjector:
         worker.failed = True
         worker.link_down = True
         failed = self.network.fail_links_of(name)
+        if self.replicas is not None:
+            # Conservative: a partitioned worker may be rebuilt before its
+            # links return, so treat its cached parts as lost.
+            self.replicas.invalidate_host(name)
         self.log.append((self.env.now, "link-down", name))
         return failed
 

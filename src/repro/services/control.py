@@ -57,19 +57,22 @@ class ControlService:
         self,
         client_chain: List[Certificate],
         n_engines: Optional[int] = None,
+        dataset_hint: Optional[str] = None,
     ):
         """Authenticate, authorize, and create a session (generator op).
 
         Returns the :class:`~repro.services.session.SessionInfo`; the
         session token is registered with the container so subsequent RMI
-        polling calls are accepted.
+        polling calls are accepted.  *dataset_hint* is forwarded to the
+        session service for data-affinity engine placement.
         """
         context = self.authenticate(client_chain)
         info: SessionInfo = yield self.env.process(
             self.session_service.obs.tracer.trace_gen(
                 "session.create",
                 self.session_service.create_session(
-                    context, client_chain, n_engines
+                    context, client_chain, n_engines,
+                    dataset_hint=dataset_hint,
                 ),
                 identity=context.identity,
             )

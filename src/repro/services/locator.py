@@ -10,7 +10,7 @@ service returns the location of the splitter service" (§3.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 
 class LocatorError(Exception):
@@ -59,6 +59,7 @@ class LocatorService:
 
     def __init__(self) -> None:
         self._locations: Dict[str, DatasetLocation] = {}
+        self._update_hooks: List[Callable[[str], None]] = []
 
     def add_location(self, location: DatasetLocation) -> None:
         """Register where a dataset lives (one location per id)."""
@@ -69,6 +70,27 @@ class LocatorService:
                 f"dataset {location.dataset_id!r} already has a location"
             )
         self._locations[location.dataset_id] = location
+
+    def replace_location(self, location: DatasetLocation) -> None:
+        """Re-register a dataset (its content or placement changed).
+
+        The id must already be known.  Update hooks fire so dependent
+        layers — notably the replica catalog — can invalidate every copy
+        cut from the previous registration.
+        """
+        if location.kind not in ("gridftp", "database"):
+            raise LocatorError(f"unknown location kind {location.kind!r}")
+        if location.dataset_id not in self._locations:
+            raise LocatorError(
+                f"dataset {location.dataset_id!r} has no location to replace"
+            )
+        self._locations[location.dataset_id] = location
+        for hook in self._update_hooks:
+            hook(location.dataset_id)
+
+    def add_update_hook(self, hook: Callable[[str], None]) -> None:
+        """Call *hook(dataset_id)* whenever a location is replaced."""
+        self._update_hooks.append(hook)
 
     def locate(self, dataset_id: str) -> DatasetLocation:
         """Resolve *dataset_id*; raises :class:`LocatorError` if unknown."""

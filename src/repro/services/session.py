@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only
     from repro.core.config import Calibration
+    from repro.replica.manager import ReplicaManager
 
 from repro.aida.codec import payload_nbytes
 from repro.engine.controls import Command
@@ -84,6 +85,16 @@ class StagedDataset:
     fetch_seconds: float
     split_seconds: float
     move_parts_seconds: float
+    #: Split strategy the parts were cut under (keys replicas by geometry).
+    strategy: str = "by-events"
+    #: Replica-cache outcome of this stage (all zero on a cold stage
+    #: without a replica manager).
+    local_hits: int = 0
+    peer_hits: int = 0
+    se_hits: int = 0
+    cold_parts: int = 0
+    fetch_skipped: bool = False
+    saved_mb: float = 0.0
 
     @property
     def stage_seconds(self) -> float:
@@ -442,9 +453,13 @@ class SessionService:
         session_lifetime: Optional[float] = None,
         recovery: Optional[RecoveryConfig] = None,
         obs: Optional[Observability] = None,
+        replicas: Optional["ReplicaManager"] = None,
     ) -> None:
         self.env = env
         self.obs = obs or NULL_OBS
+        #: Replica catalog + staging caches; ``None`` reproduces the
+        #: original fetch-split-scatter-every-time behaviour exactly.
+        self.replicas = replicas
         self.gram = gram
         self.registry = registry
         self.catalog = catalog
@@ -466,12 +481,17 @@ class SessionService:
         context: SecurityContext,
         credential_chain: List[Certificate],
         n_engines: Optional[int] = None,
+        dataset_hint: Optional[str] = None,
     ):
         """Create a session and start its engines (generator operation).
 
         Returns a :class:`SessionInfo`.  The engine count defaults to the
         site-policy maximum ("the number of nodes is determined by the Grid
         site policy that is pre-configured on the manager service", §3.2).
+        *dataset_hint* names the dataset the session intends to analyze:
+        with a replica manager attached, engine placement then prefers
+        workers already caching parts of it (data affinity), maximizing
+        local hits when the dataset is staged.
         """
         policy = self.gram.authz.authorize(context.identity)
         count = n_engines if n_engines is not None else policy.max_engines_per_session
@@ -509,10 +529,14 @@ class SessionService:
             hosts[host.engine_id] = host
             return host.body
 
+        preferred: Optional[List[str]] = None
+        if self.replicas is not None and dataset_hint is not None:
+            preferred = self.replicas.preferred_workers(dataset_hint) or None
         submission = yield from self.gram.submit_with_retry(
             JobDescription("ipa-analysis-engine", count=count),
             credential_chain,
             body_factory,
+            preferred=preferred,
         )
         # Wait until every engine has signalled ready (Fig. 2 step:
         # "Ready Signal with Reference").
@@ -587,13 +611,55 @@ class SessionService:
     ):
         """Stage a dataset onto the session's workers (generator operation).
 
-        Runs the full §3.4 pipeline and returns the
-        :class:`StagedDataset` bookkeeping (with the per-phase timing
-        breakdown the benchmarks print).
+        With a replica manager attached the catalog is consulted first: a
+        warm hit skips the WAN fetch and/or the scatter entirely, a
+        partial hit moves only the missing parts (peer-to-peer from other
+        worker caches where that is cheaper than the SE spindle), and a
+        fully cold stage falls through to the original §3.4 pipeline with
+        bit-identical timings.  Returns the :class:`StagedDataset`
+        bookkeeping (with the per-phase timing breakdown the benchmarks
+        print).
         """
         session = self._session(session_id)
         entry = self.catalog.entry(dataset_id)
         location = self.locator.locate(dataset_id)
+        rm = self.replicas
+
+        plan = keys = None
+        if rm is not None:
+            if session["dataset"] is not None:
+                # Dataset switch: release the previous dataset's pins so
+                # its cached parts become evictable.
+                rm.unpin_session(session_id)
+            # Part keys depend only on the split geometry, so plan with a
+            # template worker order, then permute the references so cached
+            # parts land on the workers that hold them.
+            references = session["references"]
+            template = self.splitter.plan_parts(
+                location, [ref.worker for ref in references], strategy
+            )
+            keys = rm.part_keys(dataset_id, strategy, template)
+            aligned = rm.align_references(references, keys)
+            parts = self.splitter.plan_parts(
+                location, [ref.worker for ref in aligned], strategy
+            )
+            plan = rm.plan_sources(location, strategy, parts, keys)
+            fetch_skippable = (
+                location.origin_host is not None and rm.has_whole(location)
+            )
+            if not plan.fully_cold or fetch_skippable:
+                staged = yield from self._stage_from_replicas(
+                    session, session_id, entry, location, strategy,
+                    streams, aligned, parts, keys, plan,
+                )
+                session["dataset"] = staged
+                self.resources.set_property(
+                    session["ref"], "dataset", dataset_id
+                )
+                return staged
+            # Fully cold and the fetch decision is unchanged: fall through
+            # to the original pipeline (identical timings), registering the
+            # produced copies below so the *next* stage is warm.
 
         tracer = self.obs.tracer
         fetch_seconds = 0.0
@@ -619,6 +685,10 @@ class SessionService:
             yield fetch
             fetch_span.finish()
             fetch_seconds = self.env.now - started
+            if rm is not None:
+                # Record the SE copy so later sessions on this dataset do
+                # not re-download it across the WAN.
+                rm.record_whole(location)
 
         references = session["references"]
         workers = [
@@ -634,6 +704,16 @@ class SessionService:
             report = yield self.splitter.split_and_scatter(
                 location, workers, strategy=strategy, streams=streams
             )
+        if rm is not None:
+            # Bookkeeping only (no simulated time): record every copy the
+            # cold pipeline just produced, pinned for this session.
+            for part, key in zip(report.parts, keys):
+                if location.kind != "database":
+                    rm.record_se_part(dataset_id, key, part.size_mb)
+                rm.record_worker_part(
+                    dataset_id, key, part.worker, part.size_mb, session_id
+                )
+            rm.note_stage(plan)
         # Hand each engine its part descriptor + the content recipe, and
         # record who owns what (the recovery monitor re-dispatches these
         # assignments when an engine dies).
@@ -652,10 +732,219 @@ class SessionService:
             fetch_seconds=fetch_seconds,
             split_seconds=report.split_seconds,
             move_parts_seconds=report.move_parts_seconds,
+            strategy=strategy,
+            cold_parts=len(report.parts),
         )
         session["dataset"] = staged
         self.resources.set_property(session["ref"], "dataset", dataset_id)
         return staged
+
+    @staticmethod
+    def _part_file_name(location: DatasetLocation, part: PartDescriptor) -> str:
+        """The on-disk part name the splitter's pipelines use."""
+        stem = "range" if location.kind == "database" else "part"
+        return f"{location.dataset_id}.{stem}{part.part_index}"
+
+    def _stage_from_replicas(
+        self,
+        session: dict,
+        session_id: str,
+        entry,
+        location: DatasetLocation,
+        strategy: str,
+        streams: Optional[int],
+        references: List,
+        parts: List[PartDescriptor],
+        keys: List[str],
+        plan,
+    ):
+        """Warm/partial staging driven by the replica catalog (generator).
+
+        Movement policy per part: **local** parts move nothing (the
+        assigned worker already caches them); **se** parts (and parts
+        just produced by a split/range query) scatter through the
+        spindle-serialized GridFTP path; **peer** parts transfer
+        point-to-point between worker caches, falling back to the SE if
+        the peer fails mid-transfer.  The WAN fetch and serial split run
+        only when some part of this geometry must actually be produced.
+        """
+        rm = self.replicas
+        cal = self.calibration
+        dataset_id = location.dataset_id
+        tracer = self.obs.tracer
+        element = self.gram.scheduler.element
+        span = tracer.child(
+            "stage.replica",
+            dataset=dataset_id,
+            local=len(plan.local),
+            peer=len(plan.peer),
+            se=len(plan.se),
+            missing=len(plan.missing),
+        )
+        with tracer.activate(span):
+            split_started = self.env.now
+            # One SOAP round-trip: the replica-catalog consult.
+            yield self.env.timeout(cal.soap_latency_s)
+
+            fetch_seconds = 0.0
+            need_split = bool(plan.missing) and location.kind != "database"
+            if need_split and not rm.has_whole(location):
+                started = self.env.now
+                fetch_span = tracer.child(
+                    "stage.fetch",
+                    phase="move_whole",
+                    dataset=dataset_id,
+                    mb=location.size_mb,
+                )
+                with tracer.activate(fetch_span):
+                    fetch = self.ftp.transfer_file(
+                        _HostProxy(location.origin_host, self.env),
+                        self.storage,
+                        f"{dataset_id}.whole",
+                        location.size_mb,
+                        read_disk=False,
+                        write_disk=False,
+                    )
+                yield fetch
+                fetch_span.finish()
+                fetch_seconds = self.env.now - started
+                rm.record_whole(location)
+            fetch_skipped = (
+                location.origin_host is not None and fetch_seconds == 0.0
+            )
+
+            if need_split:
+                # The split pass iterates the whole file regardless of how
+                # many parts are missing — same cost as a cold split — and
+                # leaves *every* part file on the SE.
+                split_span = tracer.child(
+                    "stage.split",
+                    phase="split",
+                    mb=location.size_mb,
+                    parts=len(parts),
+                )
+                yield self.env.timeout(
+                    self.splitter.split_seconds_for(location, len(parts))
+                )
+                split_span.finish()
+                for part, key in zip(parts, keys):
+                    if not rm.se_has_part(key):
+                        rm.record_se_part(dataset_id, key, part.size_mb)
+            elif plan.missing:
+                # Database location: missing parts are server-side range
+                # queries, no split pass.
+                plan_span = tracer.child(
+                    "stage.query_plan", phase="split", parts=len(plan.missing)
+                )
+                yield self.env.timeout(
+                    SplitterService.DEFAULT_PER_QUERY_OVERHEAD
+                    * len(plan.missing)
+                )
+                plan_span.finish()
+            split_seconds = self.env.now - split_started
+
+            move_started = self.env.now
+            move_span = tracer.child("stage.move_parts", phase="move_parts")
+            scatter_sources = plan.se + plan.missing
+            waits = []
+            with tracer.activate(move_span):
+                if scatter_sources:
+                    waits.append(
+                        self.ftp.scatter(
+                            self.storage,
+                            [element.worker(s.worker) for s in scatter_sources],
+                            [
+                                (
+                                    self._part_file_name(location, s.part),
+                                    s.size_mb,
+                                )
+                                for s in scatter_sources
+                            ],
+                            streams=streams,
+                        )
+                    )
+                for s in plan.peer:
+                    waits.append(
+                        self.env.process(
+                            tracer.trace_gen(
+                                "stage.peer_fetch",
+                                self._peer_fetch(location, s, streams),
+                                file=self._part_file_name(location, s.part),
+                                src=s.source,
+                                dst=s.worker,
+                            )
+                        )
+                    )
+            if waits:
+                yield self.env.all_of(waits)
+            move_span.finish()
+            move_seconds = self.env.now - move_started
+
+            for s in plan.local:
+                rm.touch(s.worker, s.key, session_id)
+            for s in plan.peer + scatter_sources:
+                rm.record_worker_part(
+                    dataset_id, s.key, s.worker, s.size_mb, session_id
+                )
+            rm.note_stage(
+                plan,
+                fetch_skipped_mb=location.size_mb if fetch_skipped else 0.0,
+            )
+        span.finish(fetch_skipped=fetch_skipped)
+
+        session["assignments"] = {}
+        session["orphaned"] = []
+        for ref, part in zip(references, parts):
+            session["assignments"][ref.engine_id] = [(part, entry.content)]
+            yield ref.mailbox.put(("load_data", part, entry.content))
+
+        return StagedDataset(
+            dataset_id=dataset_id,
+            size_mb=location.size_mb,
+            n_events=location.n_events,
+            content=entry.content,
+            parts=parts,
+            fetch_seconds=fetch_seconds,
+            split_seconds=split_seconds,
+            move_parts_seconds=move_seconds,
+            strategy=strategy,
+            local_hits=len(plan.local),
+            peer_hits=len(plan.peer),
+            se_hits=len(plan.se),
+            cold_parts=len(plan.missing),
+            fetch_skipped=fetch_skipped,
+            saved_mb=sum(s.size_mb for s in plan.local)
+            + (location.size_mb if fetch_skipped else 0.0),
+        )
+
+    def _peer_fetch(self, location: DatasetLocation, source, streams):
+        """Pull one part from another worker's cache (generator).
+
+        A peer that fails mid-transfer (crash, link cut, injected fault)
+        has its replica record dropped and the part falls back to the
+        authoritative SE copy, so a flaky peer can slow a stage down but
+        never fail it.
+        """
+        rm = self.replicas
+        element = self.gram.scheduler.element
+        dst = element.worker(source.worker)
+        name = self._part_file_name(location, source.part)
+        try:
+            peer = element.worker(source.source)
+            yield self.ftp.transfer_file(
+                peer, dst, name, source.size_mb, streams=streams
+            )
+        except (TransferError, LinkDown):
+            rm.catalog.unregister(
+                source.key, source.source, reason="peer-fetch-failed"
+            )
+            self.obs.metrics.counter(
+                "replica_peer_fallbacks_total",
+                "Peer-to-peer part fetches that fell back to the SE",
+            ).inc()
+            yield self.ftp.transfer_file(
+                self.storage, dst, name, source.size_mb, streams=streams
+            )
 
     # -- code staging ------------------------------------------------------
     def stage_code(self, session_id: str, bundle: CodeBundle):
@@ -862,6 +1151,14 @@ class SessionService:
         self.aida.set_recovering(session_id, True)
         self.aida.discard_engine(session_id, engine_id)
         self.registry.deregister(session_id, engine_id)
+        dead_ref = next(
+            (r for r in session["references"] if r.engine_id == engine_id),
+            None,
+        )
+        if self.replicas is not None and dead_ref is not None:
+            # A dead worker's cache contents are gone with it: drop its
+            # replica records so no later stage plans a peer fetch from it.
+            self.replicas.invalidate_host(dead_ref.worker)
         session["references"] = [
             ref for ref in session["references"] if ref.engine_id != engine_id
         ]
@@ -940,6 +1237,22 @@ class SessionService:
             session["assignments"].setdefault(target.engine_id, []).append(
                 (part, content)
             )
+            if self.replicas is not None and dataset is not None:
+                key = self.replicas.catalog.part_key(
+                    dataset.dataset_id,
+                    dataset.strategy,
+                    len(dataset.parts),
+                    part.part_index,
+                    part.start_event,
+                    part.stop_event,
+                )
+                self.replicas.record_worker_part(
+                    dataset.dataset_id,
+                    key,
+                    target.worker,
+                    part.size_mb,
+                    session_id,
+                )
             session["redispatches"].append(
                 {
                     "part": part.part_index,
@@ -1093,6 +1406,10 @@ class SessionService:
         self.registry.drop_session(session_id)
         self.codeloader.drop_session(session_id)
         self.aida.drop_session(session_id)
+        if self.replicas is not None:
+            # The session's cached parts stay behind (warm for the next
+            # session) but are no longer pinned against eviction.
+            self.replicas.unpin_session(session_id)
         self.resources.set_property(session["ref"], "state", "closed")
         self.resources.destroy(session["ref"])
         session["closed"] = True

@@ -79,6 +79,9 @@ class SplitterService:
         overhead for the number of split files", §4).
     """
 
+    #: Per-part range-query planning cost (seconds) when none is given.
+    DEFAULT_PER_QUERY_OVERHEAD = 0.5
+
     def __init__(
         self,
         env: Environment,
@@ -96,6 +99,16 @@ class SplitterService:
         self.ftp = ftp
         self.split_rate = split_rate
         self.per_file_overhead = per_file_overhead
+
+    def split_seconds_for(self, location: DatasetLocation, n_parts: int) -> float:
+        """Cost of the serial split pass for *n_parts* (the §4 model).
+
+        The pass "must iterate through the entire dataset in all cases",
+        so the cost is the same whether every part is needed or only a
+        few are missing — the replica-aware staging path charges exactly
+        this when any part of a geometry has to be (re)produced.
+        """
+        return location.size_mb * self.split_rate + n_parts * self.per_file_overhead
 
     def plan_parts(
         self,
@@ -185,7 +198,7 @@ class SplitterService:
         strategy: str = "by-events",
         event_weights: Optional[np.ndarray] = None,
         streams: Optional[int] = None,
-        per_query_overhead: float = 0.5,
+        per_query_overhead: float = DEFAULT_PER_QUERY_OVERHEAD,
     ) -> Process:
         """Stage a *database*-located dataset: range queries, no split pass.
 
@@ -265,11 +278,9 @@ class SplitterService:
                 mb=location.size_mb,
                 parts=len(parts),
             )
-            split_time = (
-                location.size_mb * self.split_rate
-                + len(parts) * self.per_file_overhead
+            yield self.env.timeout(
+                self.split_seconds_for(location, len(parts))
             )
-            yield self.env.timeout(split_time)
             split_span.finish()
             split_seconds = self.env.now - split_started
 

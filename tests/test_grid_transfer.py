@@ -253,3 +253,119 @@ def test_failures_consumed_in_order():
     )
     # Second transfer saw no failure: exactly one clean send.
     assert env.now - start == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Scatter / broadcast retry paths (per-part restart without spindle re-read)
+# ---------------------------------------------------------------------------
+
+def obs_ftp(n_workers=4, **kwargs):
+    from repro.obs import Observability
+
+    env, net, se, workers = build_site(n_workers=n_workers)
+    obs = Observability(env, enabled=True)
+    ftp = GridFTPService(env, net, setup_overhead=0.0, obs=obs, **kwargs)
+    return env, se, workers, ftp, obs
+
+
+def test_scatter_retries_failed_part_and_completes():
+    env, se, workers, ftp, obs = obs_ftp()
+    ftp.inject_failures(1)
+    parts = [(f"p{i}", 10.0) for i in range(4)]
+    report = env.run(until=ftp.scatter(se, workers, parts))
+    # Report integrity: every part delivered and accounted exactly once.
+    assert len(report.per_part) == 4
+    assert report.total_mb == pytest.approx(40.0)
+    assert report.finished_at > report.started_at
+    for worker, (name, _) in zip(workers, parts):
+        assert worker.has_file(name)
+    assert obs.metrics.counter("ftp_retries_total").total() == 1
+    assert obs.metrics.counter("ftp_failures_total").total() == 0
+    # Payload metric counts only the successful deliveries.
+    assert obs.metrics.counter("ftp_bytes_mb_total").total() == pytest.approx(40.0)
+
+
+def test_scatter_retry_skips_spindle_reread():
+    """A part restart re-sends over the LAN but never re-reads the SE disk.
+
+    One worker makes the arithmetic exact: the failed attempt costs the
+    lost half-transfer plus the 1 s backoff, and the restart charges a
+    full re-send but *no* second spindle pass (which would add another
+    10/10.24 s).
+    """
+    env, se, workers, ftp, obs = obs_ftp(n_workers=1)
+    clean = env.run(until=ftp.scatter(se, workers, [("p0", 10.0)])).duration
+
+    env2, se2, workers2, ftp2, obs2 = obs_ftp(n_workers=1)
+    ftp2.inject_failures(1)
+    failed = env2.run(until=ftp2.scatter(se2, workers2, [("p0", 10.0)])).duration
+    assert failed == pytest.approx(clean + 5 / 7.6 + 1.0)
+    assert obs2.metrics.counter("ftp_retries_total").total() == 1
+
+
+def test_scatter_early_part_retry_absorbed_by_pipeline():
+    """A retry on an early part hides behind the serial spindle stage.
+
+    Part 0's restart chain finishes while later parts are still queued on
+    the SE disk arm, so the scatter's total duration is unchanged -- the
+    pipelined design absorbs transient failures for free.
+    """
+    parts = [(f"p{i}", 10.0) for i in range(4)]
+    env, se, workers, ftp, obs = obs_ftp()
+    clean = env.run(until=ftp.scatter(se, workers, parts)).duration
+
+    env2, se2, workers2, ftp2, obs2 = obs_ftp()
+    ftp2.inject_failures(1)
+    failed = env2.run(until=ftp2.scatter(se2, workers2, parts)).duration
+    assert failed == pytest.approx(clean)
+    assert obs2.metrics.counter("ftp_retries_total").total() == 1
+
+
+def test_scatter_exhausted_retries_raises():
+    env, se, workers, ftp, obs = obs_ftp(n_workers=1)
+    ftp.inject_failures(3)  # policy default: 3 attempts for the one part
+
+    def scenario():
+        with pytest.raises(TransferError, match="aborted"):
+            yield ftp.scatter(se, workers, [("p0", 10.0)])
+
+    env.run(until=env.process(scenario()))
+    assert not workers[0].has_file("p0")
+    assert obs.metrics.counter("ftp_retries_total").total() == 3
+    assert obs.metrics.counter("ftp_failures_total").total() == 1
+
+
+def test_scatter_multiple_failures_across_parts():
+    env, se, workers, ftp, obs = obs_ftp()
+    ftp.inject_failures(2)  # first attempts of the first two parts
+    parts = [(f"p{i}", 10.0) for i in range(4)]
+    report = env.run(until=ftp.scatter(se, workers, parts))
+    assert len(report.per_part) == 4
+    for worker, (name, _) in zip(workers, parts):
+        assert worker.has_file(name)
+    assert obs.metrics.counter("ftp_retries_total").total() == 2
+    assert obs.metrics.counter("ftp_failures_total").total() == 0
+
+
+def test_broadcast_retries_transient_failure():
+    env, se, workers, ftp, obs = obs_ftp()
+    ftp.inject_failures(1)
+    stats = env.run(until=ftp.broadcast(se, workers, "code.jar", 0.015))
+    assert len(stats) == 4
+    for worker in workers:
+        assert worker.has_file("code.jar")
+    assert obs.metrics.counter("ftp_retries_total").total() == 1
+    assert obs.metrics.counter("ftp_failures_total").total() == 0
+
+
+def test_broadcast_exhausted_retries_raises():
+    env, se, workers, ftp, obs = obs_ftp(n_workers=1)
+    ftp.inject_failures(3)  # transfer_file default: retries=2 -> 3 attempts
+
+    def scenario():
+        with pytest.raises(TransferError):
+            yield ftp.broadcast(se, workers, "code.jar", 0.015)
+
+    env.run(until=env.process(scenario()))
+    assert not workers[0].has_file("code.jar")
+    assert obs.metrics.counter("ftp_failures_total").total() == 1

@@ -28,8 +28,17 @@ from repro.client.plugins import (
 from repro.engine.controls import Command
 from repro.engine.sandbox import CodeBundle
 from repro.grid.security import Credential
+from repro.resilience.faults import ServiceUnavailable
+from repro.resilience.retry import RetryPolicy
 from repro.services.aida_manager import MergeProgress
+from repro.services.envelope import Fault
 from repro.services.session import SessionInfo, StagedDataset
+
+#: Default backoff for :meth:`IPAClient.reconnect`: ~8 attempts over a few
+#: minutes, matching how long a manager-node service restart takes.
+RECONNECT_POLICY = RetryPolicy(
+    max_attempts=8, base_delay=0.5, multiplier=2.0, max_delay=30.0
+)
 
 
 class ClientError(Exception):
@@ -107,6 +116,49 @@ class IPAClient:
         if self.session is None:
             raise ClientError("not connected; call connect() first")
         return self.session
+
+    def reconnect(
+        self,
+        session_id: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        """Generator op: re-attach to a session after a service restart.
+
+        Retries under *retry* (default :data:`RECONNECT_POLICY`) while the
+        manager services are still down — a down service surfaces either
+        as :class:`~repro.resilience.faults.ServiceUnavailable` from the
+        handler or as a transport :class:`Fault` (the session token is
+        revoked by the crash).  A :exc:`SessionError` for a closed or
+        unknown session propagates immediately: retrying cannot fix it.
+
+        Returns the fresh :class:`SessionInfo` and re-binds the polling
+        plugin to its token.
+        """
+        if session_id is None:
+            session_id = self._require_session().session_id
+        policy = retry if retry is not None else RECONNECT_POLICY
+        last_error: Optional[BaseException] = None
+        for attempt in range(policy.max_attempts):
+            try:
+                info: SessionInfo = yield self.site.container.call(
+                    "control",
+                    "reconnect_session",
+                    {
+                        "client_chain": self.proxy_plugin.chain,
+                        "session_id": session_id,
+                    },
+                )
+                self.session = info
+                self.data_plugin.bind(info.session_id, info.token)
+                return info
+            except (ServiceUnavailable, Fault) as exc:
+                last_error = exc
+                if not policy.should_retry(attempt):
+                    break
+                yield self.env.timeout(policy.delay(attempt, salt=session_id))
+        raise ClientError(
+            f"could not reconnect to session {session_id!r}: {last_error}"
+        )
 
     # -- step 4: dataset -------------------------------------------------
     def browse_catalog(self, path: str = "/"):
@@ -218,30 +270,43 @@ class IPAClient:
         self,
         poll_interval: float = 5.0,
         timeout: Optional[float] = None,
+        reconnect: bool = False,
     ):
         """Generator op: poll until every engine reported final results.
 
         Returns the last :class:`PollResult`.  Raises :class:`ClientError`
-        on timeout.
+        on timeout.  With ``reconnect=True`` a manager-service outage
+        mid-wait (the poll raises ``ServiceUnavailable`` or a transport
+        ``Fault`` for the revoked token) triggers
+        :meth:`reconnect` with backoff and the wait resumes — the paper's
+        disconnect/resume workflow, driven by the durable session layer.
         """
         info = self._require_session()
         deadline = None if timeout is None else self.env.now + timeout
         while True:
-            result = yield from self.poll()
-            progress = result.progress
-            # Under failure recovery the session service shrinks/grows the
-            # expected-engine count as members die and spares join; fall
-            # back to the creation-time count when it is not tracking.
-            expected = (
-                progress.expected_engines
-                if progress.expected_engines is not None
-                else info.n_engines
-            )
-            if progress.engines_reporting >= expected and progress.complete:
-                return result
-            # Fail fast if an analysis crashed (node failures are excluded:
-            # the session service recovers those by re-dispatch).
-            summary = yield from self.status()
+            try:
+                result = yield from self.poll()
+                progress = result.progress
+                # Under failure recovery the session service shrinks/grows
+                # the expected-engine count as members die and spares join;
+                # fall back to the creation-time count when not tracking.
+                expected = (
+                    progress.expected_engines
+                    if progress.expected_engines is not None
+                    else info.n_engines
+                )
+                if progress.engines_reporting >= expected and progress.complete:
+                    return result
+                # Fail fast if an analysis crashed (node failures are
+                # excluded: the session service recovers those by
+                # re-dispatch).
+                summary = yield from self.status()
+            except (ServiceUnavailable, Fault):
+                if not reconnect:
+                    raise
+                info = yield from self.reconnect(info.session_id)
+                yield self.env.timeout(poll_interval)
+                continue
             if summary["failures"]:
                 failure = summary["failures"][0]
                 raise ClientError(

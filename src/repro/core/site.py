@@ -42,7 +42,13 @@ from repro.grid.security import (
 from repro.grid.transfer import GridFTPService
 from repro.obs import Observability
 from repro.replica import ReplicaManager
-from repro.resilience import FailureInjector, RecoveryConfig, RetryPolicy
+from repro.resilience import (
+    DurabilityConfig,
+    DurableStore,
+    FailureInjector,
+    RecoveryConfig,
+    RetryPolicy,
+)
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService, DatasetEntry
 from repro.services.codeloader import ManagingClassLoaderService
@@ -99,6 +105,20 @@ class SiteConfig:
         Per-worker cache capacity in MB (``None`` = unbounded).
     replica_ttl_s:
         Optional staleness TTL for unpinned cached parts.
+    enable_durability:
+        Run the durable session layer (write-ahead journal + periodic
+        checkpoints on a crash-surviving store), enabling cold-start
+        recovery after a ``service-crash`` fault.  Durable writes charge
+        zero simulated time, so enabling it never perturbs calibration.
+    checkpoint_every_s:
+        Period of the per-session checkpoint loop in simulated seconds.
+    journal_fsync:
+        Sync every journal record as written (off = records are only
+        guaranteed durable at the next checkpoint's sync, so a crash can
+        lose a journal tail).
+    checkpoint_keyframe_every:
+        Every Nth checkpoint is a full keyframe; the rest are deltas
+        against the previous one.
     """
 
     n_workers: int = 16
@@ -115,6 +135,10 @@ class SiteConfig:
     enable_replica_cache: bool = True
     worker_cache_mb: Optional[float] = None
     replica_ttl_s: Optional[float] = None
+    enable_durability: bool = True
+    checkpoint_every_s: float = 30.0
+    journal_fsync: bool = True
+    checkpoint_keyframe_every: int = 4
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -314,6 +338,11 @@ class GridSite:
             # Dataset re-registration bumps the generation, invalidating
             # every replica cut from the previous content.
             self.locator.add_update_hook(self.replicas.dataset_updated)
+        # Durable manager-node disk for the session journal + checkpoints;
+        # survives service crashes (minus any unsynced tail).
+        self.durable_store = (
+            DurableStore() if config.enable_durability else None
+        )
         self.session_service = SessionService(
             env=env,
             gram=self.gram,
@@ -338,10 +367,25 @@ class GridSite:
             ),
             obs=self.obs,
             replicas=self.replicas,
+            durability=(
+                DurabilityConfig(
+                    store=self.durable_store,
+                    checkpoint_every_s=config.checkpoint_every_s,
+                    journal_fsync=config.journal_fsync,
+                    checkpoint_keyframe_every=config.checkpoint_keyframe_every,
+                )
+                if config.enable_durability
+                else None
+            ),
+            container=self.container,
         )
         # Deterministic fault injection for chaos tests and benchmarks.
         self.injector = FailureInjector(
-            env, self.scheduler, network=net, replicas=self.replicas
+            env,
+            self.scheduler,
+            network=net,
+            replicas=self.replicas,
+            session_service=self.session_service,
         )
         self.control = ControlService(
             env, self.ca, self.service_credential, self.session_service, self.container
@@ -355,6 +399,7 @@ class GridSite:
             {
                 "create_session": self.control.create_session,
                 "close_session": self.control.close_session,
+                "reconnect_session": self.control.reconnect_session,
             },
         )
         self.container.register(

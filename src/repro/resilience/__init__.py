@@ -16,19 +16,49 @@ blocks the grid and session layers share:
 ``RecoveryConfig`` / ``HeartbeatMonitor`` (:mod:`repro.resilience.heartbeat`)
     Heartbeat bookkeeping and the tunables of the session service's
     detect-and-re-dispatch loop.
+``SessionJournal`` / ``CheckpointStore`` (:mod:`repro.resilience.journal`,
+:mod:`repro.resilience.checkpoint`)
+    The durable session layer: a write-ahead journal of state
+    transitions plus keyframe/delta checkpoints of merge state, both on
+    a crash-surviving :class:`~repro.resilience.journal.DurableStore`,
+    enabling cold-start recovery after a service-process crash.
 """
 
-from repro.resilience.faults import FAULT_KINDS, FailureInjector, FaultPlan, WorkerFault
+from repro.resilience.checkpoint import CheckpointStore, DurabilityConfig
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    SERVICE_FAULT_KINDS,
+    FailureInjector,
+    FaultPlan,
+    ServiceFault,
+    ServiceUnavailable,
+    WorkerFault,
+)
 from repro.resilience.heartbeat import HeartbeatMonitor, RecoveryConfig
+from repro.resilience.journal import (
+    DurableStore,
+    JournalModel,
+    SessionJournal,
+    replay_journal,
+)
 from repro.resilience.retry import RetryPolicy, retrying
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVICE_FAULT_KINDS",
+    "CheckpointStore",
+    "DurabilityConfig",
+    "DurableStore",
     "FailureInjector",
     "FaultPlan",
     "HeartbeatMonitor",
+    "JournalModel",
     "RecoveryConfig",
     "RetryPolicy",
+    "ServiceFault",
+    "ServiceUnavailable",
+    "SessionJournal",
     "WorkerFault",
+    "replay_journal",
     "retrying",
 ]

@@ -40,6 +40,45 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only
 #: Recognised fault kinds.
 FAULT_KINDS = ("crash", "hang", "slow", "link-down")
 
+#: Recognised service-level fault kinds (manager-node process faults).
+SERVICE_FAULT_KINDS = ("service-crash", "service-restart", "checkpoint-torn")
+
+
+class ServiceUnavailable(Exception):
+    """A manager-node service endpoint is down (process crashed).
+
+    Raised by SessionService/AIDAManagerService entry points while the
+    service is between a crash and its restart+recovery; clients treat it
+    (like a revoked-token ``Fault``) as a signal to back off and
+    :meth:`~repro.client.client.IPAClient.reconnect`.
+    """
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One planned manager-node service fault at an absolute time.
+
+    ``service-crash``
+        The SessionService + AIDA manager processes die: volatile session
+        state is lost, tokens are revoked, endpoints raise
+        :class:`ServiceUnavailable` until restart.
+    ``checkpoint-torn``
+        Same, but the crash lands mid-checkpoint-flush, leaving a torn
+        record recovery must tolerate.
+    ``service-restart``
+        The processes come back and run cold-start recovery from the
+        durable journal + checkpoints.
+    """
+
+    kind: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ValueError(f"unknown service fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+
 
 @dataclass(frozen=True)
 class WorkerFault:
@@ -90,6 +129,7 @@ class FaultPlan:
     seed: int = 0
     check_every: float = 5.0
     horizon: Optional[float] = None
+    service_faults: List[ServiceFault] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.check_every <= 0:
@@ -98,6 +138,11 @@ class FaultPlan:
     def add(self, fault: WorkerFault) -> "FaultPlan":
         """Append a fault; returns self for chaining."""
         self.faults.append(fault)
+        return self
+
+    def add_service(self, fault: ServiceFault) -> "FaultPlan":
+        """Append a service-level fault; returns self for chaining."""
+        self.service_faults.append(fault)
         return self
 
     def scheduled(self) -> List[WorkerFault]:
@@ -125,6 +170,9 @@ class FailureInjector:
     replicas:
         Optional replica manager: worker-killing faults then invalidate
         the victim's cached dataset parts so no stale replica is served.
+    session_service:
+        Needed only for service-level faults (crash/restart of the
+        manager-node processes).
     """
 
     def __init__(
@@ -133,11 +181,13 @@ class FailureInjector:
         scheduler: BatchScheduler,
         network: Optional[Network] = None,
         replicas: Optional["ReplicaManager"] = None,
+        session_service=None,
     ) -> None:
         self.env = env
         self.scheduler = scheduler
         self.network = network
         self.replicas = replicas
+        self.session_service = session_service
         #: Chronological record of injected faults: (time, kind, worker).
         self.log: List[Tuple[float, str, str]] = []
 
@@ -203,6 +253,43 @@ class FailureInjector:
         self.scheduler.restore_worker(name)
         self.log.append((self.env.now, "restore", name))
 
+    # -- service faults ---------------------------------------------------
+    def crash_services(self, torn_checkpoint: bool = False) -> None:
+        """Kill the SessionService + AIDA manager processes.
+
+        Volatile session state is lost and every RMI token revoked; the
+        durable journal/checkpoint files survive (minus any unsynced
+        tail).  With ``torn_checkpoint`` the crash lands mid-flush,
+        leaving a half-written checkpoint record behind.
+        """
+        if self.session_service is None:
+            raise ValueError("injector built without a session_service")
+        self.session_service.crash(torn_checkpoint=torn_checkpoint)
+        kind = "checkpoint-torn" if torn_checkpoint else "service-crash"
+        self.log.append((self.env.now, kind, "manager"))
+
+    def restart_services(self):
+        """Restart the services and run cold-start recovery.
+
+        Returns the recovery process; ``yield`` it to wait for every
+        journaled session to be rebuilt.
+        """
+        if self.session_service is None:
+            raise ValueError("injector built without a session_service")
+        self.log.append((self.env.now, "service-restart", "manager"))
+        return self.env.process(self.session_service.recover())
+
+    def apply_service_fault(self, fault: ServiceFault) -> None:
+        """Fire one planned service fault now."""
+        if fault.kind == "service-crash":
+            self.crash_services()
+        elif fault.kind == "checkpoint-torn":
+            self.crash_services(torn_checkpoint=True)
+        elif fault.kind == "service-restart":
+            self.restart_services()
+        else:  # pragma: no cover - guarded by ServiceFault validation
+            raise ValueError(f"unknown service fault kind {fault.kind!r}")
+
     def apply_fault(self, fault: WorkerFault) -> None:
         """Fire one planned fault now."""
         if fault.kind == "crash":
@@ -226,6 +313,8 @@ class FailureInjector:
         procs = []
         for fault in plan.scheduled():
             procs.append(self.env.process(self._fire_at(fault)))
+        for service_fault in sorted(plan.service_faults, key=lambda f: f.at):
+            procs.append(self.env.process(self._fire_service_at(service_fault)))
         if plan.probabilistic():
             procs.append(self.env.process(self._roll(plan)))
         return procs
@@ -235,6 +324,12 @@ class FailureInjector:
         if delay > 0:
             yield self.env.timeout(delay)
         self.apply_fault(fault)
+
+    def _fire_service_at(self, fault: ServiceFault):
+        delay = fault.at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.apply_service_fault(fault)
 
     def _roll(self, plan: FaultPlan):
         rng = random.Random(plan.seed)

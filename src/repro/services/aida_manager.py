@@ -45,6 +45,7 @@ from repro.aida.serial import from_dict as object_from_dict
 from repro.aida.tree import ObjectTree
 from repro.engine.engine import Snapshot
 from repro.obs import NULL_OBS, Observability
+from repro.resilience.faults import ServiceUnavailable
 from repro.sim import Environment, Process
 
 
@@ -176,6 +177,11 @@ class AIDAManagerService:
         self._dirty_engines: Dict[str, Set[str]] = {}
         #: Partial merged tree per session (only dirty paths re-folded).
         self._merged: Dict[str, ObjectTree] = {}
+        #: True between a service crash and its restart+recovery.
+        self._down = False
+        #: Closed sessions: late (zombie) submissions must not resurrect
+        #: per-session state that ``drop_session`` already released.
+        self._dropped: Set[str] = set()
 
     # -- ingestion ----------------------------------------------------------
     def submit_snapshot(self, session_id: str, snapshot: Snapshot) -> str:
@@ -186,6 +192,15 @@ class AIDAManagerService:
         the manager cannot apply (sequence gap, or incremental merging is
         off) and the engine must publish a full keyframe.
         """
+        if self._down:
+            # Dropped-connection semantics: the submit never reaches the
+            # crashed manager; the engine resends on its next cycle.
+            return "unavailable"
+        if session_id in self._dropped:
+            # Zombie submission after close: must not recreate the maps
+            # drop_session released.
+            self._dropped_metric.inc(reason="closed")
+            return "dropped"
         if snapshot.engine_id in self._banned.get(session_id, ()):
             # Late submission from a dead engine's epoch.
             self._dropped_metric.inc(reason="banned")
@@ -284,6 +299,10 @@ class AIDAManagerService:
         partition that has been re-dispatched elsewhere, and those must
         never reach the merge.
         """
+        if session_id in self._dropped:
+            # A quarantine racing a close must not repopulate (leak) the
+            # ban set / dirty maps for a session already released.
+            return
         self._snapshots.get(session_id, {}).pop(engine_id, None)
         self._banned.setdefault(session_id, set()).add(engine_id)
         entry = self._engine_trees.get(session_id, {}).pop(engine_id, None)
@@ -309,13 +328,130 @@ class AIDAManagerService:
         self._recovering[session_id] = bool(flag)
 
     def drop_session(self, session_id: str) -> None:
-        """Forget a session's snapshots (session close); idempotent."""
+        """Forget a session's snapshots (session close); idempotent.
+
+        The session id is tombstoned so late submissions or quarantines
+        from zombie engines cannot resurrect the released maps.
+        """
         self._snapshots.pop(session_id, None)
         self._run_ids.pop(session_id, None)
         self._banned.pop(session_id, None)
         self._expected.pop(session_id, None)
         self._recovering.pop(session_id, None)
         self._invalidate_session_caches(session_id)
+        self._dropped.add(session_id)
+
+    def mark_dropped(self, session_id: str) -> None:
+        """Re-tombstone a session known (from the journal) to be closed."""
+        self._dropped.add(session_id)
+
+    def session_cache_keys(self, session_id: str) -> List[str]:
+        """Names of internal maps still holding state for *session_id*.
+
+        Leak audit helper: after ``drop_session`` this must be empty, even
+        for sessions that never produced a snapshot or closed abnormally.
+        """
+        maps = {
+            "snapshots": self._snapshots,
+            "run_ids": self._run_ids,
+            "banned": self._banned,
+            "expected": self._expected,
+            "recovering": self._recovering,
+            "engine_trees": self._engine_trees,
+            "dirty_paths": self._dirty_paths,
+            "dirty_engines": self._dirty_engines,
+            "merged": self._merged,
+        }
+        return sorted(name for name, m in maps.items() if session_id in m)
+
+    # -- service crash / recovery -------------------------------------------
+    def crash(self) -> None:
+        """The manager process dies: all volatile session state is lost."""
+        self._snapshots.clear()
+        self._run_ids.clear()
+        self._banned.clear()
+        self._expected.clear()
+        self._recovering.clear()
+        self._engine_trees.clear()
+        self._dirty_paths.clear()
+        self._dirty_engines.clear()
+        self._merged.clear()
+        self._dropped.clear()
+        self._down = True
+
+    def restart(self) -> None:
+        """Bring the endpoints back up (state restored separately)."""
+        self._down = False
+
+    def checkpoint_state(self, session_id: str) -> dict:
+        """Serialize the session's merge state for a durable checkpoint.
+
+        Each engine entry carries its *full* cached tree (stored
+        snapshots may be deltas, which cannot be replayed without the
+        base they were applied to).
+        """
+        snapshots = self._snapshots.get(session_id, {})
+        trees = self._engine_trees.get(session_id, {})
+        engines = {}
+        for engine_id, snap in snapshots.items():
+            cached = trees.get(engine_id)
+            if cached is not None:
+                tree_dict = cached[1].to_dict()
+            else:
+                # Non-incremental mode stores only full keyframes.
+                tree_dict = snap.tree
+            engines[engine_id] = {
+                "sequence": snap.sequence,
+                "events_processed": snap.events_processed,
+                "total_events": snap.total_events,
+                "analysis_version": snap.analysis_version,
+                "run_id": snap.run_id,
+                "final": snap.final,
+                "tree": tree_dict,
+            }
+        return {
+            "run_id": self._run_ids.get(session_id, 0),
+            "expected": self._expected.get(session_id),
+            "banned": sorted(self._banned.get(session_id, ())),
+            "engines": engines,
+        }
+
+    def restore_state(self, session_id: str, state: dict) -> None:
+        """Rebuild the merge cache from a checkpoint's merge state.
+
+        Every restored path and engine starts dirty, so the first poll
+        re-folds the merged tree from the restored engine trees — the
+        same association order as a clean run, hence bit-identical.
+        """
+        self._run_ids[session_id] = state.get("run_id", 0)
+        if state.get("expected") is not None:
+            self._expected[session_id] = state["expected"]
+        if state.get("banned"):
+            self._banned[session_id] = set(state["banned"])
+        snapshots: Dict[str, Snapshot] = {}
+        trees: Dict[str, Tuple[int, ObjectTree]] = {}
+        dirty_paths: Set[str] = set()
+        for engine_id, entry in state.get("engines", {}).items():
+            snapshots[engine_id] = Snapshot(
+                engine_id=engine_id,
+                sequence=entry["sequence"],
+                events_processed=entry["events_processed"],
+                total_events=entry["total_events"],
+                analysis_version=entry["analysis_version"],
+                run_id=entry["run_id"],
+                tree=entry["tree"],
+                final=entry.get("final", False),
+            )
+            if self.incremental:
+                tree = ObjectTree.from_dict(entry["tree"])
+                trees[engine_id] = (entry["sequence"], tree)
+                dirty_paths.update(tree.paths())
+        self._snapshots[session_id] = snapshots
+        if self.incremental:
+            self._engine_trees[session_id] = trees
+            self._dirty_paths[session_id] = dirty_paths
+            self._dirty_engines[session_id] = set(trees)
+            self._merged[session_id] = ObjectTree()
 
     # -- merge model ----------------------------------------------------------
     def merge_latency(self, n_trees: int) -> float:
@@ -381,6 +517,8 @@ class AIDAManagerService:
         Charges the merge latency on the simulated clock, then performs
         the exact merge (only re-folding dirty paths in incremental mode).
         """
+        if self._down:
+            raise ServiceUnavailable("AIDA manager is down")
         span = self.obs.tracer.child("aida.merge", session=session_id)
 
         def run():
@@ -439,4 +577,6 @@ class AIDAManagerService:
 
     def snapshot_count(self, session_id: str) -> int:
         """Engines with at least one stored snapshot."""
+        if self._down:
+            raise ServiceUnavailable("AIDA manager is down")
         return len(self._snapshots.get(session_id, {}))

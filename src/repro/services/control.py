@@ -23,7 +23,7 @@ from repro.grid.security import (
     mutual_authenticate,
 )
 from repro.services.envelope import ServiceContainer
-from repro.services.session import SessionInfo, SessionService
+from repro.services.session import SessionError, SessionInfo, SessionService
 from repro.sim import Environment
 
 
@@ -81,8 +81,36 @@ class ControlService:
         return info
 
     def close_session(self, session_id: str):
-        """Close a session and revoke its RMI token (generator op)."""
-        token = self.session_service.token(session_id)
+        """Close a session and revoke its RMI token (generator op).
+
+        Tolerates a session that only exists as a journal tombstone after
+        a service crash: the close is then the idempotent no-op and there
+        is no live token left to revoke.
+        """
+        try:
+            token = self.session_service.token(session_id)
+        except SessionError:
+            if not self.session_service.closed_before_crash(session_id):
+                raise
+            token = None
         result = yield self.env.process(self.session_service.close(session_id))
-        self.container.revoke_token(token)
+        if token is not None:
+            self.container.revoke_token(token)
         return result
+
+    def reconnect_session(
+        self, client_chain: List[Certificate], session_id: str
+    ) -> SessionInfo:
+        """Re-authenticate and re-attach a client after a service restart.
+
+        Plain (non-generator) operation: the session already exists, so
+        this only refreshes the security context, re-registers the RMI
+        token with the container, and returns a fresh
+        :class:`~repro.services.session.SessionInfo`.
+        """
+        context = self.authenticate(client_chain)
+        info = self.session_service.reconnect(
+            session_id, context, client_chain
+        )
+        self.container.issue_token(info.token)
+        return info

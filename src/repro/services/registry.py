@@ -33,6 +33,10 @@ class EngineReference:
     worker: str
     mailbox: Any
     registered_at: float = 0.0
+    #: Back-reference to the EngineHost serving this engine.  The registry
+    #: survives a session-service crash, so recovery uses it to re-bind
+    #: the rebuilt session to the still-running hosts.
+    host: Any = None
 
 
 class WorkerRegistryService:

@@ -33,6 +33,20 @@ re-staged from the storage element and re-dispatched, preferring a spare
 worker and falling back to the least-loaded survivor.  The AIDA manager's
 ban set plus the ``recovering`` gate keep the merged histograms exactly
 equal to a failure-free run.
+
+Service faults
+--------------
+With a :class:`~repro.resilience.checkpoint.DurabilityConfig` attached the
+service also survives *its own* crash: every state transition is
+journalled write-ahead and the merge state checkpointed periodically to
+the manager node's durable store.  ``crash()`` models the service process
+dying (volatile state lost, tokens revoked, endpoints raising
+:class:`~repro.resilience.faults.ServiceUnavailable`); ``recover()`` is
+the cold start that replays the journal, restores the merge cache from
+the last committed checkpoint, re-binds still-running engines through the
+(surviving) registry, quarantines engines that died during the downtime,
+and asks every live engine to republish a full keyframe — so the final
+merged trees are bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -57,7 +71,10 @@ from repro.grid.scheduler import JobState
 from repro.grid.security import Certificate, SecurityContext
 from repro.grid.transfer import GridFTPService, TransferError
 from repro.obs import NULL_OBS, Observability
+from repro.resilience.checkpoint import CheckpointStore, DurabilityConfig
+from repro.resilience.faults import ServiceUnavailable
 from repro.resilience.heartbeat import HeartbeatMonitor, RecoveryConfig
+from repro.resilience.journal import JournalModel, SessionJournal, replay_journal
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService
 from repro.services.codeloader import ManagingClassLoaderService
@@ -123,6 +140,8 @@ class EngineHost:
     * ``("control", verb, arg)`` — run/pause/stop/rewind/step;
     * ``("takeover", part, content, ack, resume)`` — absorb an orphaned
       partition from a dead engine (failure recovery);
+    * ``("republish",)`` — resend the current results as a full keyframe
+      (a recovered AIDA manager reconciling its merge cache);
     * ``("shutdown",)`` — leave the loop and deregister.
 
     With a ``heartbeat_interval`` the host also runs a liveness loop that
@@ -208,6 +227,7 @@ class EngineHost:
                 session_id=self.session_id,
                 worker=worker.name,
                 mailbox=self.mailbox,
+                host=self,
             )
         )
         if self.heartbeat_interval:
@@ -284,6 +304,16 @@ class EngineHost:
             if verb in (Command.RUN, Command.STEP):
                 alive = yield from self._process_loop(env, worker)
                 return alive
+            return True
+        if kind == "republish":
+            # A restarted AIDA manager reconciling: resend everything as a
+            # full keyframe so the merge cache converges on the engine's
+            # current state regardless of what the checkpoint captured.
+            yield env.timeout(cal.rmi_latency_s)
+            full = self.engine.take_snapshot(
+                final=self.engine.done and not self._pending, full=True
+            )
+            yield from self._publish(env, full)
             return True
         raise SessionError(f"unknown directive {kind!r}")
 
@@ -454,6 +484,8 @@ class SessionService:
         recovery: Optional[RecoveryConfig] = None,
         obs: Optional[Observability] = None,
         replicas: Optional["ReplicaManager"] = None,
+        durability: Optional[DurabilityConfig] = None,
+        container=None,
     ) -> None:
         self.env = env
         self.obs = obs or NULL_OBS
@@ -472,8 +504,118 @@ class SessionService:
         self.content_store = content_store
         self.calibration = calibration
         self.recovery = recovery
+        #: Durable journal/checkpoint wiring; ``None`` = the original
+        #: all-volatile service (a crash loses every session).
+        self.durability = durability
+        #: Service container for token revocation on crash / reissue on
+        #: recovery (``None`` in bare-service unit tests).
+        self.container = container
+        self._session_lifetime = session_lifetime
         self.resources = ResourceHome(env, "session", session_lifetime)
         self._sessions: Dict[str, dict] = {}
+        self._down = False
+        self._journals: Dict[str, SessionJournal] = {}
+        self._checkpoints: Dict[str, CheckpointStore] = {}
+        #: Sessions whose journal said "closed" at the last recovery:
+        #: closing one of these again is the idempotent no-op (the close
+        #: already ran to completion before the crash).
+        self._tombstones: set = set()
+
+    # -- durability helpers -------------------------------------------------
+    def _journal(self, session_id: str) -> Optional[SessionJournal]:
+        if self.durability is None:
+            return None
+        journal = self._journals.get(session_id)
+        if journal is None:
+            journal = SessionJournal(
+                self.durability.store,
+                session_id,
+                fsync=self.durability.journal_fsync,
+            )
+            self._journals[session_id] = journal
+        return journal
+
+    def _log(self, session_id: str, record_type: str, /, **data) -> None:
+        """Append one write-ahead journal record (no simulated time)."""
+        journal = self._journal(session_id)
+        if journal is not None:
+            journal.append(record_type, **data)
+
+    def _checkpoint_store(self, session_id: str) -> Optional[CheckpointStore]:
+        if self.durability is None:
+            return None
+        store = self._checkpoints.get(session_id)
+        if store is None:
+            store = CheckpointStore(
+                self.durability.store,
+                session_id,
+                keyframe_every=self.durability.checkpoint_keyframe_every,
+            )
+            self._checkpoints[session_id] = store
+        return store
+
+    def _closed_in_journal(self, session_id: str) -> bool:
+        """Whether the durable journal tombstones this session as closed."""
+        journal = self._journal(session_id)
+        if journal is None:
+            return False
+        return any(r.get("type") == "closed" for r in journal.records())
+
+    def closed_before_crash(self, session_id: str) -> bool:
+        """Whether this session's close completed before a service crash.
+
+        True only after a recovery found the journal tombstone; closing
+        such a session again is an idempotent no-op rather than a
+        ``SessionError``.
+        """
+        return session_id in self._tombstones
+
+    def _log_stage(
+        self,
+        session_id: str,
+        staged: "StagedDataset",
+        keys: Optional[List[str]] = None,
+    ) -> None:
+        """Journal a completed dataset stage (plan + dispatch map + pins)."""
+        if self.durability is None:
+            return
+        session = self._sessions[session_id]
+        self._log(
+            session_id,
+            "stage",
+            dataset_id=staged.dataset_id,
+            strategy=staged.strategy,
+            size_mb=staged.size_mb,
+            n_events=staged.n_events,
+            content=staged.content,
+            parts=[
+                {
+                    "part_index": part.part_index,
+                    "start_event": part.start_event,
+                    "stop_event": part.stop_event,
+                    "size_mb": part.size_mb,
+                    "worker": part.worker,
+                }
+                for part in staged.parts
+            ],
+            assignments={
+                engine_id: [part.part_index for part, _content in pairs]
+                for engine_id, pairs in session["assignments"].items()
+            },
+            staged={
+                "fetch_seconds": staged.fetch_seconds,
+                "split_seconds": staged.split_seconds,
+                "move_parts_seconds": staged.move_parts_seconds,
+                "local_hits": staged.local_hits,
+                "peer_hits": staged.peer_hits,
+                "se_hits": staged.se_hits,
+                "cold_parts": staged.cold_parts,
+                "fetch_skipped": staged.fetch_skipped,
+                "saved_mb": staged.saved_mb,
+            },
+        )
+        if keys is not None:
+            self._log(session_id, "pins", keys=list(keys))
 
     # -- lifecycle ----------------------------------------------------------
     def create_session(
@@ -493,6 +635,8 @@ class SessionService:
         workers already caching parts of it (data affinity), maximizing
         local hits when the dataset is staged.
         """
+        if self._down:
+            raise ServiceUnavailable("session service is down")
         policy = self.gram.authz.authorize(context.identity)
         count = n_engines if n_engines is not None else policy.max_engines_per_session
         if count < 1:
@@ -566,14 +710,27 @@ class SessionService:
             "closing": False,
             "closed": False,
             "unrecoverable": False,
+            "rewinds": 0,
             "next_engine_index": count,
             "monitor": None,
+            "monitor_proc": None,
+            "checkpoint_proc": None,
+            "redispatch_proc": None,
             # Trace context of the creating call: recovery work started by
             # the background monitor parents here instead of floating free.
             "trace_parent": self.obs.tracer.current_id,
         }
         self._sessions[session_id] = session
         self.aida.set_expected_engines(session_id, count)
+        self._log(
+            session_id,
+            "create",
+            session_id=session_id,
+            owner=context.identity,
+            token=token,
+            n_engines=count,
+            engines={ref_.engine_id: ref_.worker for ref_ in references},
+        )
         if self.recovery is not None:
             monitor = HeartbeatMonitor(
                 self.env, self.registry, session_id, self.recovery
@@ -581,7 +738,13 @@ class SessionService:
             for reference in references:
                 monitor.watch(reference.engine_id)
             session["monitor"] = monitor
-            self.env.process(self._monitor_loop(session_id))
+            session["monitor_proc"] = self.env.process(
+                self._monitor_loop(session_id)
+            )
+        if self.durability is not None:
+            session["checkpoint_proc"] = self.env.process(
+                self._checkpoint_loop(session_id)
+            )
         self.resources.set_property(ref, "state", "ready")
         return SessionInfo(
             session_id=session_id,
@@ -592,6 +755,8 @@ class SessionService:
         )
 
     def _session(self, session_id: str) -> dict:
+        if self._down:
+            raise ServiceUnavailable("session service is down")
         session = self._sessions.get(session_id)
         if session is None or session["closed"]:
             raise SessionError(f"no active session {session_id!r}")
@@ -656,6 +821,7 @@ class SessionService:
                 self.resources.set_property(
                     session["ref"], "dataset", dataset_id
                 )
+                self._log_stage(session_id, staged, keys)
                 return staged
             # Fully cold and the fetch decision is unchanged: fall through
             # to the original pipeline (identical timings), registering the
@@ -737,6 +903,7 @@ class SessionService:
         )
         session["dataset"] = staged
         self.resources.set_property(session["ref"], "dataset", dataset_id)
+        self._log_stage(session_id, staged, keys)
         return staged
 
     @staticmethod
@@ -968,6 +1135,12 @@ class SessionService:
         for ref in references:
             yield ref.mailbox.put(("load_code", bundle))
         code_span.finish()
+        self._log(
+            session_id,
+            "code",
+            class_name=bundle.class_name,
+            version=bundle.version,
+        )
         return self.env.now - started
 
     def reload_code(
@@ -997,6 +1170,8 @@ class SessionService:
             session["running"] = True
         elif verb in (Command.PAUSE, Command.STOP):
             session["running"] = False
+        # Write-ahead: the verb is durable before any engine acts on it.
+        self._log(session_id, "control", verb=verb)
         for ref in session["references"]:
             yield ref.mailbox.put(("control", verb, argument))
         return len(session["references"])
@@ -1064,7 +1239,16 @@ class SessionService:
         partitions are re-dispatched.  Runs until the session closes; while
         closing it keeps cancelling hung engines so ``close`` can finish,
         but stops re-dispatching work.
+
+        A service crash interrupts the loop; the ``Interrupt`` is absorbed
+        here (an unobserved process failure would crash the kernel).
         """
+        try:
+            yield from self._monitor_loop_inner(session_id)
+        except Interrupt:
+            return
+
+    def _monitor_loop_inner(self, session_id: str):
         session = self._sessions[session_id]
         config = self.recovery
         monitor = session["monitor"]
@@ -1106,13 +1290,18 @@ class SessionService:
                     continue
                 self._quarantine(session_id, engine_id)
             if session["orphaned"] and not session["closing"]:
-                yield self.env.process(
+                # Track the re-dispatch process so a service crash can
+                # interrupt it too (it must not act on wiped state).
+                proc = self.env.process(
                     self.obs.tracer.trace_gen(
                         "session.redispatch",
                         self._redispatch(session_id),
                         parent_id=session.get("trace_parent"),
                     )
                 )
+                session["redispatch_proc"] = proc
+                yield proc
+                session["redispatch_proc"] = None
             self._maybe_end_recovery(session_id)
 
     def _quarantine(self, session_id: str, engine_id: str) -> dict:
@@ -1176,6 +1365,7 @@ class SessionService:
             "span": recovery_span,
         }
         session["recoveries"].append(record)
+        self._log(session_id, "quarantine", engine_id=engine_id)
         if job is not None and job.state not in JobState.TERMINAL:
             self.gram.scheduler.cancel(job.id, cause)
         return record
@@ -1187,7 +1377,17 @@ class SessionService:
         preserved); falls back to handing the part to the least-loaded
         surviving engine.  Each part is re-staged from the storage element
         through GridFTP before the takeover directive is sent.
+
+        A service crash interrupts the generator mid-transfer; the
+        ``Interrupt`` is absorbed here so the kernel never sees an
+        unobserved process failure.
         """
+        try:
+            yield from self._redispatch_inner(session_id)
+        except Interrupt:
+            return
+
+    def _redispatch_inner(self, session_id: str):
         session = self._sessions[session_id]
         config = self.recovery
         while (
@@ -1259,6 +1459,12 @@ class SessionService:
                     "to": target.engine_id,
                     "at": self.env.now,
                 }
+            )
+            self._log(
+                session_id,
+                "dispatch",
+                engine_id=target.engine_id,
+                part_index=part.part_index,
             )
             self.obs.metrics.counter(
                 "session_redispatches_total",
@@ -1354,6 +1560,12 @@ class SessionService:
         session["hosts"][engine_id] = host
         session["references"].append(reference)
         self.aida.set_expected_engines(session_id, len(session["references"]))
+        self._log(
+            session_id,
+            "engine_joined",
+            engine_id=engine_id,
+            worker=reference.worker,
+        )
         if session["monitor"] is not None:
             session["monitor"].watch(engine_id)
         # Ship the session's current analysis code to the newcomer.
@@ -1373,13 +1585,26 @@ class SessionService:
         resource (generator operation).  Idempotent, and safe when engines
         are dead or hung — stragglers are force-cancelled after the
         recovery grace period instead of deadlocking the close.
+
+        Idempotency holds *across a recovery boundary* too: closing a
+        session whose close completed before a service crash finds the
+        journal tombstone and returns True without re-running the
+        teardown — replicas are not double-unpinned and no ``replica_*``
+        metric is double-counted.
         """
+        if self._down:
+            raise ServiceUnavailable("session service is down")
         session = self._sessions.get(session_id)
         if session is None:
+            if session_id in self._tombstones or self._closed_in_journal(
+                session_id
+            ):
+                return True
             raise SessionError(f"no active session {session_id!r}")
         if session["closed"]:
             return True
         session["closing"] = True
+        self._log(session_id, "closing")
         for ref in list(session["references"]):
             yield ref.mailbox.put(("shutdown",))
         # Engines drain their mailboxes and exit; wait for the jobs to end,
@@ -1413,7 +1638,407 @@ class SessionService:
         self.resources.set_property(session["ref"], "state", "closed")
         self.resources.destroy(session["ref"])
         session["closed"] = True
+        # Tombstone first (write-ahead), then drop the checkpoint file —
+        # after a crash the journal alone must prove the close happened.
+        self._log(session_id, "closed")
+        checkpoints = self._checkpoint_store(session_id)
+        if checkpoints is not None:
+            checkpoints.delete()
+            self._checkpoints.pop(session_id, None)
         return True
+
+    # -- durable checkpoints & service crash/recovery -----------------------
+    def _checkpoint_loop(self, session_id: str):
+        """Periodically checkpoint one session's merge state (generator).
+
+        Durable writes charge zero simulated time — the loop only adds
+        timeout events — so enabling durability does not perturb any
+        calibrated timing.  A service crash interrupts the loop.
+        """
+        config = self.durability
+        try:
+            while True:
+                yield self.env.timeout(config.checkpoint_every_s)
+                session = self._sessions.get(session_id)
+                if session is None or session["closed"]:
+                    return
+                self.write_checkpoint(session_id)
+        except Interrupt:
+            return
+
+    def write_checkpoint(self, session_id: str, torn: bool = False):
+        """Write one durable checkpoint now; returns its kind.
+
+        WAL ordering: the journal is synced first, so a checkpoint can
+        never describe state the journal cannot explain.  ``torn`` models
+        a crash mid-flush (only half the record reaches the disk).
+        """
+        store = self._checkpoint_store(session_id)
+        session = self._sessions.get(session_id)
+        if store is None or session is None:
+            return None
+        journal = self._journal(session_id)
+        if journal is not None:
+            journal.sync()
+        span = self.obs.tracer.start(
+            "checkpoint.write",
+            parent_id=session.get("trace_parent"),
+            session=session_id,
+        )
+        session_state = {
+            "rewinds": session.get("rewinds", 0),
+            "running": session["running"],
+        }
+        merge_state = self.aida.checkpoint_state(session_id)
+        kind = store.write(session_state, merge_state, torn=torn)
+        span.finish(kind=kind)
+        self.obs.metrics.counter(
+            "checkpoint_writes_total",
+            "Durable session checkpoints written, by kind",
+        ).inc(kind=kind)
+        return kind
+
+    def crash(self, torn_checkpoint: bool = False) -> None:
+        """The manager-node service processes die (injected fault).
+
+        Volatile session state is wiped (the durable store survives,
+        minus any unsynced journal tail), every live session's RMI token
+        is revoked, the background monitor/checkpoint/re-dispatch loops
+        are interrupted, and the AIDA manager goes down too.  With
+        ``torn_checkpoint`` each live session first flushes *half* a
+        checkpoint record — the crash-mid-flush case recovery must
+        tolerate.
+        """
+        if torn_checkpoint:
+            for session_id, session in list(self._sessions.items()):
+                if not session["closed"]:
+                    self.write_checkpoint(session_id, torn=True)
+        for session in self._sessions.values():
+            for key in ("monitor_proc", "checkpoint_proc", "redispatch_proc"):
+                proc = session.get(key)
+                if proc is not None and proc.is_alive:
+                    proc.interrupt("service-crash")
+                session[key] = None
+            if self.container is not None and not session["closed"]:
+                self.container.revoke_token(session["token"])
+        self._sessions = {}
+        self._journals = {}
+        self._checkpoints = {}
+        self.resources = ResourceHome(
+            self.env, "session", self._session_lifetime
+        )
+        self._down = True
+        if self.durability is not None:
+            self.durability.store.crash()
+        self.aida.crash()
+        self.obs.metrics.counter(
+            "service_crashes_total",
+            "SessionService/AIDA-manager process crashes injected",
+        ).inc()
+
+    def recover(self):
+        """Cold-start recovery from the durable store (generator).
+
+        Replays every session journal, restores merge state from the last
+        committed checkpoint (discarding it if it predates a journalled
+        rewind), re-binds still-running engines through the surviving
+        registry, quarantines engines that died during the downtime, and
+        directs every live engine to republish a full keyframe.  Charges
+        one SOAP round-trip plus one merge cost per reconciled engine
+        tree on the simulated clock.
+        """
+        started = self.env.now
+        span = self.obs.tracer.start("service.recover")
+        self.aida.restart()
+        self._down = False
+        restored_sessions = 0
+        reconciled_engines = 0
+        if self.durability is not None:
+            store = self.durability.store
+            for session_id in SessionJournal.session_ids(store):
+                journal = self._journal(session_id)
+                model = replay_journal(journal.records())
+                if model is None:
+                    continue
+                if model.closed:
+                    # Finished before the crash: only the tombstone
+                    # matters (keeps close() idempotent and zombie
+                    # submissions dropped).
+                    self._tombstones.add(session_id)
+                    self.aida.mark_dropped(session_id)
+                    continue
+                reconciled_engines += yield from self._recover_session(
+                    session_id, model
+                )
+                restored_sessions += 1
+        yield self.env.timeout(
+            self.calibration.soap_latency_s
+            + self.aida.merge_cost_per_tree * reconciled_engines
+        )
+        metrics = self.obs.metrics
+        metrics.counter(
+            "service_recovery_total", "Service cold-start recoveries run"
+        ).inc()
+        if restored_sessions:
+            metrics.counter(
+                "service_recovery_sessions_total",
+                "Sessions rebuilt by service cold-start recovery",
+            ).inc(restored_sessions)
+        metrics.histogram(
+            "service_recovery_seconds",
+            "Service restart to sessions-recovered latency "
+            "(simulated seconds)",
+        ).observe(self.env.now - started)
+        span.finish(sessions=restored_sessions, engines=reconciled_engines)
+        return restored_sessions
+
+    def _recover_session(self, session_id: str, model: JournalModel):
+        """Rebuild one session from its journal + checkpoint (generator).
+
+        Returns the number of engine trees reconciled (restored from the
+        checkpoint or republished by a live engine) — the recovery cost
+        model's unit of work.
+        """
+        span = self.obs.tracer.start(
+            "session.recover_state", session=session_id
+        )
+        ref = self.resources.create(
+            {
+                "owner": model.owner,
+                "state": "recovering",
+                "engines": model.n_engines,
+            },
+            resource_id=session_id,
+        )
+        if self.container is not None:
+            self.container.issue_token(model.token)
+
+        # Re-bind engines that are still alive: the registry (and the
+        # EngineHost processes out on the workers) survived the crash.
+        live = {r.engine_id: r for r in self.registry.engines(session_id)}
+        references: List[EngineReference] = []
+        hosts: Dict[str, EngineHost] = {}
+        engine_jobs: Dict[str, object] = {}
+        next_index = model.n_engines
+        for engine_id in list(model.engines) + sorted(model.banned):
+            suffix = engine_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                next_index = max(next_index, int(suffix) + 1)
+        for engine_id in sorted(model.engines):
+            reference = live.get(engine_id)
+            if reference is None:
+                continue
+            references.append(reference)
+            if reference.host is not None:
+                hosts[engine_id] = reference.host
+            job = self.gram.scheduler.running_job_on(reference.worker)
+            if job is not None:
+                engine_jobs[engine_id] = job
+        references.sort(key=lambda r: (r.registered_at, r.engine_id))
+
+        dataset = None
+        parts_by_index: Dict[int, PartDescriptor] = {}
+        if model.dataset_id is not None:
+            parts = [PartDescriptor(**p) for p in model.parts]
+            parts_by_index = {p.part_index: p for p in parts}
+            staged = model.staged
+            dataset = StagedDataset(
+                dataset_id=model.dataset_id,
+                size_mb=model.size_mb,
+                n_events=model.n_events,
+                content=model.content,
+                parts=parts,
+                fetch_seconds=staged.get("fetch_seconds", 0.0),
+                split_seconds=staged.get("split_seconds", 0.0),
+                move_parts_seconds=staged.get("move_parts_seconds", 0.0),
+                strategy=model.strategy,
+                local_hits=staged.get("local_hits", 0),
+                peer_hits=staged.get("peer_hits", 0),
+                se_hits=staged.get("se_hits", 0),
+                cold_parts=staged.get("cold_parts", 0),
+                fetch_skipped=staged.get("fetch_skipped", False),
+                saved_mb=staged.get("saved_mb", 0.0),
+            )
+        assignments: Dict[str, list] = {}
+        for engine_id in model.engines:
+            pairs = [
+                (parts_by_index[idx], model.content)
+                for idx in model.assignments.get(engine_id, [])
+                if idx in parts_by_index
+            ]
+            if pairs:
+                assignments[engine_id] = pairs
+        orphaned = [
+            (parts_by_index[idx], model.content)
+            for idx in model.orphaned
+            if idx in parts_by_index
+        ]
+
+        session = {
+            "ref": ref,
+            "context": _RecoveredContext(model.owner),
+            # The client's credential chain is security material, never
+            # journalled: reconnect() refreshes it.  Until then
+            # spare-engine GRAM submits fail closed and re-dispatch falls
+            # back to surviving engines.
+            "chain": [],
+            "submission": _RecoveredSubmission(
+                self.env, list(engine_jobs.values())
+            ),
+            "spare_submissions": [],
+            "hosts": hosts,
+            "dead_hosts": {},
+            "references": references,
+            "engine_jobs": engine_jobs,
+            "assignments": assignments,
+            "orphaned": orphaned,
+            "pending_acks": [],
+            "recoveries": [],
+            "redispatches": [],
+            "token": model.token,
+            "dataset": dataset,
+            "running": model.running,
+            "closing": model.closing,
+            "closed": False,
+            "unrecoverable": False,
+            "rewinds": model.rewinds,
+            "next_engine_index": next_index,
+            "monitor": None,
+            "monitor_proc": None,
+            "checkpoint_proc": None,
+            "redispatch_proc": None,
+            "trace_parent": span.span_id,
+        }
+        self._sessions[session_id] = session
+        self.aida.set_expected_engines(session_id, len(model.engines))
+        if model.rewinds:
+            self.aida.begin_run(session_id, model.rewinds)
+
+        # Merge state: last committed checkpoint, unless it predates a
+        # journalled rewind (then it describes a dead run).
+        restored = 0
+        loaded = self._checkpoint_store(session_id).load()
+        if loaded is not None:
+            ckpt_session, merge_state = loaded
+            if ckpt_session.get("rewinds", 0) >= model.rewinds:
+                self.aida.restore_state(session_id, merge_state)
+                restored = len(merge_state.get("engines", {}))
+        # Replay the ban set on top (quarantines after the checkpoint).
+        for engine_id in sorted(model.banned):
+            self.aida.discard_engine(session_id, engine_id)
+
+        # Re-pin this session's replica keys wherever the parts still sit.
+        if self.replicas is not None:
+            for key in model.pin_keys:
+                for cache in self.replicas.caches.values():
+                    if key in cache:
+                        cache.pin(key, session_id)
+
+        if self.recovery is not None:
+            monitor = HeartbeatMonitor(
+                self.env, self.registry, session_id, self.recovery
+            )
+            for reference in references:
+                # watch() seeds a fresh beat: nobody gets quarantined just
+                # because their last beat predates the downtime.
+                monitor.watch(reference.engine_id)
+            session["monitor"] = monitor
+            session["monitor_proc"] = self.env.process(
+                self._monitor_loop(session_id)
+            )
+        if self.durability is not None:
+            session["checkpoint_proc"] = self.env.process(
+                self._checkpoint_loop(session_id)
+            )
+
+        # Engines the journal believed alive but that deregistered (died)
+        # during the downtime: quarantine now; the monitor's sweeps
+        # re-dispatch the orphaned parts.
+        for engine_id in sorted(model.engines):
+            if engine_id not in live:
+                self._quarantine(session_id, engine_id)
+        if session["orphaned"] or session["pending_acks"]:
+            self.aida.set_recovering(session_id, True)
+
+        # Ask every live engine for a full keyframe: covers everything the
+        # last checkpoint missed, including engines that finished during
+        # the downtime (their final snapshot died with the old process).
+        resyncs = 0
+        for reference in sorted(references, key=lambda r: r.engine_id):
+            yield reference.mailbox.put(("republish",))
+            resyncs += 1
+        if resyncs:
+            self.obs.metrics.counter(
+                "service_recovery_resyncs_total",
+                "Live engines asked to republish a keyframe on recovery",
+            ).inc(resyncs)
+
+        self.resources.set_property(ref, "state", "ready")
+        if model.dataset_id is not None:
+            self.resources.set_property(ref, "dataset", model.dataset_id)
+        self._maybe_end_recovery(session_id)
+        span.finish(engines=len(references), restored=restored)
+        return max(restored, resyncs)
+
+    def reconnect(
+        self,
+        session_id: str,
+        context: SecurityContext,
+        credential_chain: List[Certificate],
+    ) -> SessionInfo:
+        """Re-attach a client to its (possibly recovered) session.
+
+        Refreshes the session's security material — the credential chain
+        is lost in a crash (never journalled) and is needed for
+        spare-engine GRAM submits — and returns a fresh
+        :class:`SessionInfo` carrying the session's RMI token.
+        """
+        if self._down:
+            raise ServiceUnavailable("session service is down")
+        session = self._sessions.get(session_id)
+        if session is None or session["closed"]:
+            if self._closed_in_journal(session_id):
+                raise SessionError(f"session {session_id!r} is closed")
+            raise SessionError(f"no active session {session_id!r}")
+        if session["context"].identity != context.identity:
+            raise SessionError(
+                "reconnect identity does not match the session owner"
+            )
+        session["context"] = context
+        session["chain"] = list(credential_chain)
+        return SessionInfo(
+            session_id=session_id,
+            resource=session["ref"],
+            token=session["token"],
+            n_engines=len(session["references"]),
+            engine_ids=sorted(
+                ref.engine_id for ref in session["references"]
+            ),
+        )
+
+
+class _RecoveredContext:
+    """Security-context stand-in for a recovered session.
+
+    Only the owner identity survives in the journal; the full context is
+    re-established when the client reconnects.
+    """
+
+    def __init__(self, identity: str) -> None:
+        self.identity = identity
+
+
+class _RecoveredSubmission:
+    """GramSubmission stand-in wrapping the jobs still running on workers.
+
+    Exposes exactly what ``status()``/``close()`` need: the ``jobs`` list
+    and an ``all_done`` condition (already-finished jobs are fine — the
+    kernel's AllOf handles pre-triggered and empty event lists).
+    """
+
+    def __init__(self, env: Environment, jobs: list) -> None:
+        self.jobs = list(jobs)
+        self.all_done = env.all_of([job.done for job in self.jobs])
 
 
 class _HostProxy:

@@ -74,10 +74,21 @@ class ResourceHome:
         self,
         properties: Optional[dict] = None,
         lifetime: Optional[float] = None,
+        resource_id: Optional[str] = None,
     ) -> ResourceRef:
-        """Create a resource; returns its ref (id + access key)."""
-        self._counter += 1
-        resource_id = f"{self.resource_type}-{self._counter}"
+        """Create a resource; returns its ref (id + access key).
+
+        Passing ``resource_id`` adopts an existing identity (service
+        recovery re-minting a journaled session id); the counter is
+        advanced past any numeric suffix so later ids cannot collide.
+        """
+        if resource_id is not None:
+            suffix = resource_id.rsplit("-", 1)[-1]
+            if suffix.isdigit():
+                self._counter = max(self._counter, int(suffix))
+        else:
+            self._counter += 1
+            resource_id = f"{self.resource_type}-{self._counter}"
         ref = ResourceRef(
             resource_id=resource_id,
             key=secrets.token_hex(8),

@@ -1,0 +1,118 @@
+"""Chaos integration test: manager-service crash mid-run at paper scale.
+
+The acceptance bar for the durable session layer: with the SessionService
+and AIDA manager crashing mid-analysis (volatile merge state wiped, RMI
+token revoked, background loops dead) and restarting after a minute of
+downtime, the session recovers from journal + checkpoints, the client
+reconnects with backoff, and the final merged histogram is
+**bit-identical, bin for bin**, to a crash-free run.  Correctness comes
+from WAL ordering (the journal is synced before every checkpoint) plus
+full-keyframe republication by every surviving engine on recovery —
+whatever the last checkpoint missed, the engines still hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import higgs
+from repro.client.client import IPAClient
+from repro.core.site import GridSite, SiteConfig
+from repro.resilience.faults import ServiceUnavailable
+from repro.services.envelope import Fault
+
+# Minutes-scale end-to-end runs; CI runs these in a dedicated chaos job
+# (see .github/workflows/ci.yml) rather than the fast tier-1 matrix.
+pytestmark = [pytest.mark.slow, pytest.mark.chaos]
+
+N_WORKERS = 16
+N_EVENTS = 16_000  # 1000 events/part -> 2 chunks/part: partial snapshots exist
+SIZE_MB = 480.0
+DOWNTIME_S = 60.0
+
+
+def build_site():
+    site = GridSite(
+        SiteConfig(n_workers=N_WORKERS, checkpoint_every_s=15.0)
+    )
+    site.register_dataset(
+        "ds-chaos",
+        "/test/ds-chaos",
+        size_mb=SIZE_MB,
+        n_events=N_EVENTS,
+        metadata={"experiment": "ilc", "energy": 500},
+        content={"kind": "ilc", "seed": 99},
+    )
+    return site, IPAClient(site, site.enroll_user("/O=ILC/CN=chaos"))
+
+
+def run_higgs(crash_services=False):
+    """One full 16-engine Higgs run; optionally crash the manager mid-run."""
+    site, client = build_site()
+    out = {}
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect(n_engines=N_WORKERS)
+        yield from client.select_dataset("ds-chaos")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        if crash_services:
+            # Wait until every engine has published at least one (partial)
+            # snapshot — the merge state is genuinely mid-flight — then
+            # kill the manager-node service processes.
+            while site.aida.snapshot_count(info.session_id) < N_WORKERS:
+                yield site.env.timeout(1.0)
+            site.injector.crash_services()
+            out["crashed_at"] = site.env.now
+            # The cheap polling channel rejects the revoked token; the
+            # client sees the outage instead of silently stale data.
+            with pytest.raises((ServiceUnavailable, Fault)):
+                yield from client.poll()
+            yield site.env.timeout(DOWNTIME_S)
+            yield site.injector.restart_services()
+            out["recovered_at"] = site.env.now
+            yield from client.reconnect()
+        final = yield from client.wait_for_completion(
+            poll_interval=2.0, timeout=20_000.0, reconnect=True
+        )
+        out["progress"] = final.progress
+        out["hist"] = final.tree.get("/higgs/dijet_mass")
+        out["status"] = yield from client.status()
+        out["completed_at"] = site.env.now
+        yield from client.close()
+        out["session_id"] = info.session_id
+
+    site.env.run(until=site.env.process(scenario()))
+    out["site"] = site
+    return out
+
+
+def test_service_crash_restart_reconnect_bit_identical():
+    baseline = run_higgs()
+    chaos = run_higgs(crash_services=True)
+
+    assert chaos["crashed_at"] < chaos["recovered_at"]
+    assert chaos["progress"].complete
+    assert chaos["progress"].events_processed == N_EVENTS
+    assert chaos["progress"].expected_engines == N_WORKERS
+    assert not chaos["status"]["failures"]
+    assert chaos["status"]["orphaned_parts"] == 0
+
+    base_hist, chaos_hist = baseline["hist"], chaos["hist"]
+    # Bit-identical, bin for bin — exact dict equality, not approx.
+    assert chaos_hist.entries == base_hist.entries
+    assert np.array_equal(chaos_hist.heights(), base_hist.heights())
+    assert chaos_hist.to_dict() == base_hist.to_dict()
+
+    # The outage costs roughly the downtime plus a recovery sweep, not a
+    # from-scratch rerun of the analysis.
+    assert (
+        chaos["completed_at"]
+        < baseline["completed_at"] + DOWNTIME_S + 120.0
+    )
+
+    # No per-session merge state leaks after the post-recovery close.
+    site, sid = chaos["site"], chaos["session_id"]
+    assert site.aida.session_cache_keys(sid) == []
+    # The durable journal ends on the close tombstone.
+    journal = site.session_service._journal(sid)
+    assert journal.records()[-1]["type"] == "closed"

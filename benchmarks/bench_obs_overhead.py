@@ -1,9 +1,11 @@
-"""Observability overhead — tracing + metrics must stay below 5%.
+"""Observability overhead — the whole telemetry plane must stay below 5%.
 
 The instrumentation across the three tiers (service container, grid
 fabric, engines) routes through null objects when disabled and through the
-real tracer/registry when enabled.  This benchmark runs the reference
-16-node Higgs experiment both ways, interleaved, and asserts:
+real tracer/registry/event-log/SLO-tracker/anomaly-monitor when enabled.
+This benchmark runs the reference 16-node Higgs experiment both ways,
+interleaved, writes the CI gate file ``benchmarks/out/BENCH_obs.json``,
+and asserts:
 
 * the *simulated* phase breakdown is bit-identical — recording telemetry
   must never perturb the model;
@@ -12,12 +14,16 @@ real tracer/registry when enabled.  This benchmark runs the reference
   only tens of milliseconds).
 """
 
+import json
 import time
+from pathlib import Path
 
 import pytest
 
 from repro.bench.tables import ComparisonTable
 from repro.core.experiment import run_grid_experiment
+
+OUT_JSON = Path(__file__).parent / "out" / "BENCH_obs.json"
 
 SIZE_MB = 471.0
 NODES = 16
@@ -68,17 +74,22 @@ def test_obs_overhead(benchmark, report):
     )
     overhead = on_s / off_s - 1.0
 
+    obs = traced.obs
+    n_events = sum(obs.events.counts().values())
+    slo_rows = obs.slo.status()
     table = ComparisonTable(
         "Observability overhead: 471 MB / 16 nodes (min of "
         f"{ROUNDS} interleaved runs)",
-        ["configuration", "wall-clock", "spans", "metrics"],
+        ["configuration", "wall-clock", "spans", "metrics", "events", "slo"],
     )
-    table.add_row("disabled", f"{off_s * 1000:.1f} ms", 0, 0)
+    table.add_row("disabled", f"{off_s * 1000:.1f} ms", 0, 0, 0, 0)
     table.add_row(
         "enabled",
         f"{on_s * 1000:.1f} ms",
-        len(traced.obs.tracer.spans),
-        len(traced.obs.metrics.metrics),
+        len(obs.tracer.spans),
+        len(obs.metrics.metrics),
+        n_events,
+        len(slo_rows),
     )
     report(
         "obs_overhead",
@@ -87,10 +98,38 @@ def test_obs_overhead(benchmark, report):
     )
 
     # Determinism: telemetry must not move the simulated clock.
+    phases_identical = True
     for phase in PHASES:
         assert getattr(traced, phase) == getattr(baseline, phase), phase
-    # The run actually produced telemetry...
-    assert traced.obs is not None and len(traced.obs.tracer.spans) > 50
+
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(
+        json.dumps(
+            {
+                "size_mb": SIZE_MB,
+                "nodes": NODES,
+                "rounds": ROUNDS,
+                "disabled_wall_s": off_s,
+                "enabled_wall_s": on_s,
+                "overhead_fraction": overhead,
+                "max_overhead": MAX_OVERHEAD,
+                "abs_slack_s": ABS_SLACK,
+                "phases_bit_identical": phases_identical,
+                "spans": len(obs.tracer.spans),
+                "metrics": len(obs.metrics.metrics),
+                "events": n_events,
+                "slo_policies": len(slo_rows),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The run actually produced telemetry across every subsystem...
+    assert obs is not None and len(obs.tracer.spans) > 50
+    assert n_events > 0, "event log saw no structured events"
+    assert [row["name"] for row in slo_rows] == ["poll-latency"]
+    assert slo_rows[0]["samples"] > 0, "SLO tracker saw no poll latencies"
     assert baseline.obs is None
     # ...for under 5% wall-clock.
     assert on_s <= off_s * (1 + MAX_OVERHEAD) + ABS_SLACK, (

@@ -1,7 +1,9 @@
 """ASCII dashboards: headless stand-ins for the JAS windows.
 
 ``dashboard`` renders the merged-results view (Fig. 4);
-``render_catalog`` renders the dataset-chooser view (Fig. 3).
+``render_catalog`` renders the dataset-chooser view (Fig. 3);
+``status_board`` renders the operator's telemetry view (nodes, SLO
+gauges, stragglers, recent events — see :mod:`repro.obs.dashboard`).
 """
 
 from __future__ import annotations
@@ -57,6 +59,29 @@ def dashboard(
         lines.append(f"... and {len(paths) - max_objects} more objects")
     lines.append("=" * (width + 2))
     return "\n".join(lines)
+
+
+def status_board(
+    obs,
+    session_service=None,
+    session_id: Optional[str] = None,
+    max_events: int = 8,
+) -> str:
+    """Render the live telemetry status board for one run.
+
+    Thin client-side wrapper over
+    :func:`repro.obs.dashboard.render_board` so display code can stay
+    imported from one place; works mid-run and degrades gracefully when
+    observability is disabled.
+    """
+    from repro.obs.dashboard import render_board
+
+    return render_board(
+        obs,
+        session_service=session_service,
+        session_id=session_id,
+        max_events=max_events,
+    )
 
 
 def render_catalog(

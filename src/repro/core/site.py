@@ -119,6 +119,10 @@ class SiteConfig:
     checkpoint_keyframe_every:
         Every Nth checkpoint is a full keyframe; the rest are deltas
         against the previous one.
+    slo_poll_p99_s / slo_window_s:
+        Default interactivity SLO installed when observability is on:
+        p99 of merged-result poll latency must stay under
+        ``slo_poll_p99_s`` over a sliding ``slo_window_s`` window.
     """
 
     n_workers: int = 16
@@ -139,6 +143,8 @@ class SiteConfig:
     checkpoint_every_s: float = 30.0
     journal_fsync: bool = True
     checkpoint_keyframe_every: int = 4
+    slo_poll_p99_s: float = 0.25
+    slo_window_s: float = 60.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -386,7 +392,23 @@ class GridSite:
             network=net,
             replicas=self.replicas,
             session_service=self.session_service,
+            obs=self.obs,
         )
+        # Default interactivity SLO (§2.3 "limits of human tolerance"):
+        # merged-result polls must stay sub-interactive.  Signals are fed
+        # by the service envelope as "<service>.<operation>".
+        if self.obs.enabled:
+            from repro.obs import SLOPolicy
+
+            self.obs.slo.add_policy(
+                SLOPolicy(
+                    name="poll-latency",
+                    signal="aida.merged",
+                    objective=config.slo_poll_p99_s,
+                    quantile=0.99,
+                    window_s=config.slo_window_s,
+                )
+            )
         self.control = ControlService(
             env, self.ca, self.service_credential, self.session_service, self.container
         )

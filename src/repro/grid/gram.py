@@ -164,6 +164,12 @@ class GramGatekeeper:
             self.obs.metrics.counter(
                 "gram_unavailable_total", "Transient gatekeeper outages hit"
             ).inc()
+            self.obs.events.emit(
+                "gram_unavailable",
+                message="gatekeeper temporarily unavailable",
+                severity="warning",
+                executable=description.executable,
+            )
             span.finish(error="gatekeeper temporarily unavailable")
             raise GramUnavailable("gatekeeper temporarily unavailable")
         identity = self.ca.validate_chain(credential_chain, self.env.now)

@@ -137,6 +137,10 @@ class BatchScheduler:
         self._jobs: Dict[int, Job] = {}
         self._wakeup: Event = env.event()
         self._idle: List[WorkerNode] = list(element.workers)
+        #: Workers the anomaly monitor flagged as stragglers: still
+        #: schedulable (a hint, not a ban) but chosen only when no
+        #: unflagged worker is available.
+        self._deprioritized: set = set()
         env.process(self._dispatcher())
 
     # -- configuration --------------------------------------------------
@@ -236,7 +240,36 @@ class BatchScheduler:
         worker.slow_factor = 1.0
         if not worker.busy and worker not in self._idle:
             self._idle.append(worker)
+        self.restore_priority(name)
         self._kick()
+
+    # -- placement hints ---------------------------------------------------
+    def deprioritize(self, name: str) -> None:
+        """Hint: place new jobs on *name* only as a last resort.
+
+        Fed by straggler detection; idempotent, and never blocks
+        placement — with every worker deprioritized, dispatch proceeds
+        as if none were.
+        """
+        self.element.worker(name)  # validate the name
+        self._deprioritized.add(name)
+        self.obs.metrics.gauge(
+            "scheduler_deprioritized_workers",
+            "Workers currently hinted away from new placements",
+        ).set(len(self._deprioritized))
+
+    def restore_priority(self, name: str) -> None:
+        """Drop the deprioritization hint for *name* (idempotent)."""
+        self._deprioritized.discard(name)
+        self.obs.metrics.gauge(
+            "scheduler_deprioritized_workers",
+            "Workers currently hinted away from new placements",
+        ).set(len(self._deprioritized))
+
+    @property
+    def deprioritized(self) -> List[str]:
+        """Currently deprioritized worker names, sorted."""
+        return sorted(self._deprioritized)
 
     # -- internals --------------------------------------------------------
     def _kick(self) -> None:
@@ -257,15 +290,26 @@ class BatchScheduler:
                     self._pending,
                     key=lambda j: (self._queues[j.queue].priority, j.id),
                 )
+                # Straggler hints demote workers without banning them:
+                # both the data-affinity preference list and the
+                # first-idle fallback try unflagged workers first, and a
+                # flagged worker is still used when it is all that's left.
+                demoted = self._deprioritized
+                candidates = sorted(
+                    healthy, key=lambda w: w.name in demoted
+                )  # stable: keeps idle order within each tier
                 worker = None
-                for name in job.preferred:
+                for name in sorted(
+                    job.preferred,
+                    key=lambda n: (n in demoted, job.preferred.index(n)),
+                ):
                     worker = next(
-                        (w for w in healthy if w.name == name), None
+                        (w for w in candidates if w.name == name), None
                     )
                     if worker is not None:
                         break
                 if worker is None:
-                    worker = healthy[0]
+                    worker = candidates[0]
                 self._pending.remove(job)
                 self._idle.remove(worker)
                 self.env.process(self._run_job(job, worker))

@@ -236,6 +236,16 @@ class GridFTPService:
             metrics.counter(
                 "ftp_failures_total", "GridFTP transfers that exhausted retries"
             ).inc()
+            self.obs.events.emit(
+                "transfer_failed",
+                message=f"{name}: {src.name} -> {dst.name} exhausted retries",
+                severity="warning",
+                file=name,
+                src=src.name,
+                dst=dst.name,
+                mb=size_mb,
+                attempts=policy.max_attempts,
+            )
             raise last_error
 
         return self.env.process(self.obs.tracer.wrap(span, run()))

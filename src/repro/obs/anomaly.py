@@ -1,0 +1,377 @@
+"""Straggler detection: per-engine rates, robust z-scores, hint emission.
+
+A 16-way interactive session is only as fast as its slowest engine, so
+the telemetry plane watches three per-engine signals, all windowed on the
+simulated clock:
+
+* **event rate** — events/s derived from the cumulative
+  ``events_processed`` counters riding on every AIDA snapshot;
+* **snapshot lag** — seconds since the engine's last snapshot reached
+  the manager;
+* **heartbeat jitter** — the engine's largest recent gap between beats.
+
+Detection uses the **robust (modified) z-score**: ``0.6745 * (x - median)
+/ MAD``.  Unlike the mean/stddev z-score, one pathological engine cannot
+drag the baseline toward itself — the median and MAD are computed over
+the cohort, so a single 4x-slow node among 16 sticks out at |z| ≈ 10
+instead of inflating the standard deviation it is judged against.  When
+the cohort is so uniform that the MAD is zero (common in a deterministic
+simulation), the mean absolute deviation about the median is used as the
+scale instead.
+
+Flag/unflag transitions are emitted as ``straggler_detected`` /
+``straggler_recovered`` events.  Detection stays **advisory**: the
+session monitor reads :meth:`AnomalyMonitor.stragglers` each sweep and
+turns reports into *hints* — scheduler deprioritization and earlier
+heartbeat suspicion — never into direct kills (a slow engine still
+produces correct results; only the heartbeat monitor declares death).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+#: Φ⁻¹(0.75): scales the MAD to estimate σ under normality, making the
+#: modified z-score comparable to an ordinary z-score.
+MAD_SCALE = 0.6745
+
+#: Default |z| above which an engine is flagged.
+DEFAULT_THRESHOLD = 3.5
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def robust_zscores(values: Dict[str, float]) -> Dict[str, float]:
+    """Modified z-score of every entry against the cohort median.
+
+    ``z = 0.6745 * (x - median) / MAD``; falls back to the mean absolute
+    deviation about the median when the MAD is zero, and to all-zeros
+    when every value is identical.
+    """
+    if len(values) < 2:
+        return {key: 0.0 for key in values}
+    center = _median(list(values.values()))
+    deviations = [abs(v - center) for v in values.values()]
+    scale = _median(deviations)
+    if scale == 0.0:
+        scale = sum(deviations) / len(deviations)
+    if scale == 0.0:
+        return {key: 0.0 for key in values}
+    return {
+        key: MAD_SCALE * (value - center) / scale
+        for key, value in values.items()
+    }
+
+
+@dataclass(frozen=True)
+class StragglerReport:
+    """One flagged engine with the evidence that flagged it."""
+
+    session_id: str
+    engine_id: str
+    score: float  # signed modified z of the triggering signal
+    signal: str  # "rate" | "lag" | "jitter"
+    value: float  # the engine's value of that signal
+    median: float  # the cohort median of that signal
+    signals: Dict[str, float] = field(default_factory=dict)
+
+
+class _EngineSeries:
+    """Windowed raw signals of one engine."""
+
+    __slots__ = ("progress", "beats")
+
+    def __init__(self) -> None:
+        #: (time, cumulative events_processed) from accepted snapshots.
+        self.progress: deque = deque()
+        #: (time, gap_seconds) from registry heartbeats.
+        self.beats: deque = deque()
+
+
+class AnomalyMonitor:
+    """Per-session, per-engine rate tracking + straggler detection.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    events:
+        Optional event log for flag/unflag transitions.
+    metrics:
+        Optional metrics registry (``straggler_flags_total`` counter and
+        ``straggler_engines`` gauge).
+    window_s:
+        Sliding window over which rates/lags/jitter are computed.
+    threshold:
+        |modified z| at which an engine is flagged.
+    clear_threshold:
+        |z| below which a flagged engine is unflagged (hysteresis so a
+        borderline engine does not flap every sweep).
+    min_engines:
+        Cohort size required before any detection runs — medians over
+        tiny cohorts are noise.
+    min_points:
+        Snapshot observations an engine needs in-window before its rate
+        participates.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        env,
+        events=None,
+        metrics=None,
+        window_s: float = 60.0,
+        threshold: float = DEFAULT_THRESHOLD,
+        clear_threshold: Optional[float] = None,
+        min_engines: int = 4,
+        min_points: int = 2,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        if threshold <= 0:
+            raise ValueError("threshold must be > 0")
+        self.env = env
+        self.events = events
+        self.metrics = metrics
+        self.window_s = window_s
+        self.threshold = threshold
+        self.clear_threshold = (
+            clear_threshold if clear_threshold is not None else threshold / 2
+        )
+        self.min_engines = min_engines
+        self.min_points = min_points
+        self._series: Dict[str, Dict[str, _EngineSeries]] = {}
+        self._flagged: Dict[str, Dict[str, StragglerReport]] = {}
+
+    # -- signal ingestion --------------------------------------------------
+    def _engine(self, session_id: str, engine_id: str) -> _EngineSeries:
+        session = self._series.setdefault(session_id, {})
+        series = session.get(engine_id)
+        if series is None:
+            series = _EngineSeries()
+            session[engine_id] = series
+        return series
+
+    def record_snapshot(
+        self, session_id: str, engine_id: str, events_processed: int
+    ) -> None:
+        """Feed one accepted snapshot's cumulative progress counter."""
+        series = self._engine(session_id, engine_id)
+        series.progress.append((self.env.now, float(events_processed)))
+        self._prune(series.progress)
+
+    def record_heartbeat(
+        self, session_id: str, engine_id: str, gap: float
+    ) -> None:
+        """Feed one heartbeat gap (seconds between consecutive beats)."""
+        series = self._engine(session_id, engine_id)
+        series.beats.append((self.env.now, float(gap)))
+        self._prune(series.beats)
+
+    def _prune(self, items: deque) -> None:
+        horizon = self.env.now - self.window_s
+        while items and items[0][0] < horizon:
+            items.popleft()
+
+    def forget_engine(self, session_id: str, engine_id: str) -> None:
+        """Drop an engine's series and flag (quarantined or shut down)."""
+        self._series.get(session_id, {}).pop(engine_id, None)
+        flagged = self._flagged.get(session_id, {})
+        if flagged.pop(engine_id, None) is not None:
+            self._set_flag_gauge(session_id)
+
+    def forget_session(self, session_id: str) -> None:
+        """Drop every series of a session (close); idempotent."""
+        self._series.pop(session_id, None)
+        if self._flagged.pop(session_id, None):
+            self._set_flag_gauge(session_id)
+
+    # -- windowed signals --------------------------------------------------
+    def rates(self, session_id: str) -> Dict[str, float]:
+        """events/s per engine over the window (engines with data only)."""
+        out: Dict[str, float] = {}
+        for engine_id, series in self._series.get(session_id, {}).items():
+            self._prune(series.progress)
+            points = series.progress
+            if len(points) < self.min_points:
+                continue
+            (t0, e0), (t1, e1) = points[0], points[-1]
+            if t1 <= t0:
+                continue
+            out[engine_id] = (e1 - e0) / (t1 - t0)
+        return out
+
+    def snapshot_lags(self, session_id: str) -> Dict[str, float]:
+        """Seconds since each engine's newest snapshot."""
+        now = self.env.now
+        out: Dict[str, float] = {}
+        for engine_id, series in self._series.get(session_id, {}).items():
+            if series.progress:
+                out[engine_id] = now - series.progress[-1][0]
+        return out
+
+    def heartbeat_jitter(self, session_id: str) -> Dict[str, float]:
+        """Largest in-window heartbeat gap per engine."""
+        out: Dict[str, float] = {}
+        for engine_id, series in self._series.get(session_id, {}).items():
+            self._prune(series.beats)
+            if series.beats:
+                out[engine_id] = max(gap for _, gap in series.beats)
+        return out
+
+    # -- detection ---------------------------------------------------------
+    def detect(self, session_id: str) -> List[StragglerReport]:
+        """Run one detection sweep; returns the currently flagged set.
+
+        Transitions (newly flagged / recovered) are emitted as events.
+        An engine is flagged when its event rate sits ``threshold`` robust
+        z-scores *below* the cohort median, or its snapshot lag sits that
+        far *above*; heartbeat jitter is reported as supporting evidence.
+        Flags clear with hysteresis at ``clear_threshold``.
+        """
+        flagged = self._flagged.setdefault(session_id, {})
+        rates = self.rates(session_id)
+        lags = self.snapshot_lags(session_id)
+        jitter = self.heartbeat_jitter(session_id)
+        if len(rates) < self.min_engines:
+            return sorted(flagged.values(), key=lambda r: r.engine_id)
+        rate_z = robust_zscores(rates)
+        lag_z = robust_zscores(lags)
+        jitter_z = robust_zscores(jitter)
+        rate_median = _median(list(rates.values()))
+        lag_median = _median(list(lags.values())) if lags else 0.0
+        for engine_id in sorted(rates):
+            z_rate = rate_z.get(engine_id, 0.0)
+            z_lag = lag_z.get(engine_id, 0.0)
+            z_jitter = jitter_z.get(engine_id, 0.0)
+            signals = {
+                "rate_z": z_rate,
+                "lag_z": z_lag,
+                "jitter_z": z_jitter,
+            }
+            # One-sided: only slow (low-rate) or silent (high-lag) engines
+            # are stragglers; an unusually fast engine is not a problem.
+            severity = max(-z_rate, z_lag)
+            if engine_id not in flagged and severity >= self.threshold:
+                if -z_rate >= z_lag:
+                    report = StragglerReport(
+                        session_id,
+                        engine_id,
+                        score=z_rate,
+                        signal="rate",
+                        value=rates[engine_id],
+                        median=rate_median,
+                        signals=signals,
+                    )
+                else:
+                    report = StragglerReport(
+                        session_id,
+                        engine_id,
+                        score=z_lag,
+                        signal="lag",
+                        value=lags.get(engine_id, 0.0),
+                        median=lag_median,
+                        signals=signals,
+                    )
+                flagged[engine_id] = report
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "straggler_flags_total",
+                        "Engines flagged as stragglers",
+                    ).inc(signal=report.signal)
+                if self.events is not None:
+                    self.events.emit(
+                        "straggler_detected",
+                        message=(
+                            f"{engine_id}: {report.signal} "
+                            f"{report.value:.3g} vs median "
+                            f"{report.median:.3g} (z={report.score:.1f})"
+                        ),
+                        severity="warning",
+                        session=session_id,
+                        engine=engine_id,
+                        signal=report.signal,
+                        score=report.score,
+                        value=report.value,
+                        median=report.median,
+                    )
+                self._set_flag_gauge(session_id)
+            elif engine_id in flagged and severity <= self.clear_threshold:
+                report = flagged.pop(engine_id)
+                if self.events is not None:
+                    self.events.emit(
+                        "straggler_recovered",
+                        message=f"{engine_id}: back within the cohort",
+                        session=session_id,
+                        engine=engine_id,
+                        signal=report.signal,
+                    )
+                self._set_flag_gauge(session_id)
+        return sorted(flagged.values(), key=lambda r: r.engine_id)
+
+    def _set_flag_gauge(self, session_id: str) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "straggler_engines",
+                "Engines currently flagged as stragglers",
+            ).set(len(self._flagged.get(session_id, {})), session=session_id)
+
+    def stragglers(self, session_id: str) -> List[StragglerReport]:
+        """Currently flagged engines (no detection sweep), sorted."""
+        return sorted(
+            self._flagged.get(session_id, {}).values(),
+            key=lambda r: r.engine_id,
+        )
+
+
+class NullAnomalyMonitor:
+    """Anomaly monitor stand-in: every operation is free (or nearly so)."""
+
+    enabled = False
+    env = None
+    events = None
+    metrics = None
+    window_s = 0.0
+    threshold = DEFAULT_THRESHOLD
+
+    def record_snapshot(self, session_id, engine_id, events_processed) -> None:
+        pass
+
+    def record_heartbeat(self, session_id, engine_id, gap) -> None:
+        pass
+
+    def forget_engine(self, session_id, engine_id) -> None:
+        pass
+
+    def forget_session(self, session_id) -> None:
+        pass
+
+    def rates(self, session_id) -> dict:
+        return {}
+
+    def snapshot_lags(self, session_id) -> dict:
+        return {}
+
+    def heartbeat_jitter(self, session_id) -> dict:
+        return {}
+
+    def detect(self, session_id) -> list:
+        return []
+
+    def stragglers(self, session_id) -> list:
+        return []
+
+
+NULL_ANOMALY_MONITOR = NullAnomalyMonitor()

@@ -1,0 +1,233 @@
+"""Live ASCII status board: nodes × phase, SLO gauges, stragglers, events.
+
+The GRAPPA portal's lesson (PAPERS.md) is that a grid analysis framework
+needs an *operator surface*, not just logs: one glance should answer "are
+my engines healthy, is the latency objective holding, who is slow, what
+just happened".  This module renders exactly that board, two ways:
+
+* :func:`render_board` — live, mid-run, from the :class:`Observability`
+  handle plus (optionally) a session service: per-node engine progress,
+  SLO gauges with error-budget burn, the currently flagged stragglers,
+  and the newest events;
+* :func:`board_from_jsonl` — offline, from exported JSONL artifacts
+  (events / profile / spans), for post-mortems and the chaos CI job.
+
+Every section degrades gracefully: with ``NULL_OBS`` the board still
+renders, stating that telemetry is disabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.events import Event, events_from_jsonl, render_events
+from repro.obs.profile import profile_from_jsonl, render_profile
+
+
+def progress_bar(fraction: float, width: int = 20) -> str:
+    """``[####....]`` bar for a 0..1 fraction (clamped)."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(width * fraction))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+# -- section renderers (shared by live and offline boards) ----------------
+
+def nodes_section(
+    engines: List[Dict[str, object]],
+    flagged: Optional[Dict[str, str]] = None,
+    bar_width: int = 16,
+) -> List[str]:
+    """Per-engine rows: worker, state, progress bar, straggler marks.
+
+    *engines* rows carry ``engine_id`` / ``worker`` / ``cursor`` /
+    ``total`` / ``state`` (the shape ``SessionService.status`` returns);
+    *flagged* maps engine ids to a short straggler annotation.
+    """
+    if not engines:
+        return ["  (no engines)"]
+    flagged = flagged or {}
+    lines = []
+    for row in engines:
+        total = int(row.get("total") or 0)
+        cursor = int(row.get("cursor") or 0)
+        fraction = cursor / total if total else 0.0
+        mark = flagged.get(str(row.get("engine_id")), "")
+        lines.append(
+            "  {worker:<8} {engine:<10} {state:<9} {bar} "
+            "{cursor:>8}/{total:<8}{mark}".format(
+                worker=str(row.get("worker") or "?"),
+                engine=str(row.get("engine_id")),
+                state=str(row.get("state") or "?"),
+                bar=progress_bar(fraction, bar_width),
+                cursor=cursor,
+                total=total,
+                mark=f"  << {mark}" if mark else "",
+            )
+        )
+    return lines
+
+
+def slo_section(rows: List[Dict[str, object]]) -> List[str]:
+    """SLO gauge rows from :meth:`repro.obs.slo.SLOTracker.status`."""
+    if not rows:
+        return ["  (no SLO policies)"]
+    lines = []
+    for row in rows:
+        estimate = row["estimate"]
+        shown = (
+            "    --" if estimate != estimate else f"{estimate:6.3f}s"
+        )
+        state = "BREACH" if row["breached"] else "ok"
+        lines.append(
+            "  {name:<16} p{q:<4} {est} / {obj:.3f}s  {state:<6} "
+            "budget {budget:>4.0%}  burn {burn:4.1f}x  "
+            "({n} samples/{w:.0f}s)".format(
+                name=row["name"],
+                q=f"{float(row['quantile']) * 100:g}",
+                est=shown,
+                obj=row["objective"],
+                state=state,
+                budget=row["budget_remaining"],
+                burn=row["burn_rate"],
+                n=row["samples"],
+                w=row["window_s"],
+            )
+        )
+    return lines
+
+
+def straggler_section(reports) -> List[str]:
+    """Rows for the currently flagged stragglers."""
+    if not reports:
+        return ["  (none)"]
+    lines = []
+    for report in reports:
+        lines.append(
+            "  {engine:<10} {signal}={value:.3g} vs median {median:.3g} "
+            "(z={score:.1f})".format(
+                engine=report.engine_id,
+                signal=report.signal,
+                value=report.value,
+                median=report.median,
+                score=report.score,
+            )
+        )
+    return lines
+
+
+def events_section(events: List[Event], limit: int = 8) -> List[str]:
+    """The newest events, one line each."""
+    if not events:
+        return ["  (no events)"]
+    return [
+        "  " + line
+        for line in render_events(events, limit=limit).splitlines()
+    ]
+
+
+# -- boards ----------------------------------------------------------------
+
+def render_board(
+    obs,
+    session_service=None,
+    session_id: Optional[str] = None,
+    max_events: int = 8,
+) -> str:
+    """The live board, renderable at any simulated time.
+
+    With a *session_service* and *session_id* the per-node section shows
+    that session's engines; otherwise it is omitted.  SLO / straggler /
+    event sections come from the :class:`~repro.obs.Observability`
+    handle and say so when telemetry is disabled.
+    """
+    now = getattr(getattr(obs, "env", None), "now", None)
+    header = "== ipa status board"
+    if now is not None:
+        header += f" @ t={now:.1f}s"
+    if session_id is not None:
+        header += f"  session {session_id}"
+    lines = [header + " =="]
+
+    if session_service is not None and session_id is not None:
+        status = session_service.status(session_id)
+        flagged = {}
+        if getattr(obs, "enabled", False):
+            for report in obs.anomaly.stragglers(session_id):
+                flagged[report.engine_id] = (
+                    f"straggler z={report.score:.1f}"
+                )
+        lines.append("nodes:")
+        lines.extend(nodes_section(status["engines"], flagged))
+        if status["orphaned_parts"]:
+            lines.append(
+                f"  orphaned parts: {status['orphaned_parts']}"
+            )
+
+    if not getattr(obs, "enabled", False):
+        lines.append("telemetry: (observability disabled)")
+        return "\n".join(lines)
+
+    lines.append("slo:")
+    lines.extend(slo_section(obs.slo.status()))
+
+    lines.append("stragglers:")
+    if session_id is not None:
+        lines.extend(straggler_section(obs.anomaly.stragglers(session_id)))
+    else:
+        lines.append("  (no session selected)")
+
+    lines.append(f"events (last {max_events}):")
+    lines.extend(events_section(obs.events.tail(max_events), max_events))
+    return "\n".join(lines)
+
+
+def board_from_jsonl(
+    events_text: Optional[str] = None,
+    profile_text: Optional[str] = None,
+    spans_text: Optional[str] = None,
+    max_events: int = 8,
+) -> str:
+    """Rebuild a board snapshot from exported JSONL artifacts.
+
+    Any subset of the three artifacts may be provided; sections without
+    data are omitted.  Used by ``python -m repro.obs dashboard`` and the
+    chaos CI job's post-mortem rendering.
+    """
+    lines = ["== ipa status board (from export) =="]
+    rendered_any = False
+
+    if spans_text is not None:
+        from repro.obs.exporters import (
+            phase_summary_records,
+            spans_from_jsonl,
+        )
+
+        records = spans_from_jsonl(spans_text)
+        lines.append(phase_summary_records(records))
+        rendered_any = True
+
+    if profile_text is not None:
+        weights = profile_from_jsonl(profile_text)
+        lines.append("profile:")
+        lines.extend(
+            "  " + line
+            for line in render_profile(weights, limit=12).splitlines()
+        )
+        rendered_any = True
+
+    if events_text is not None:
+        events = events_from_jsonl(events_text)
+        breaches = [e for e in events if e.kind == "slo_breach"]
+        stragglers = [e for e in events if e.kind == "straggler_detected"]
+        lines.append(
+            f"events: {len(events)} exported, "
+            f"{len(breaches)} SLO breaches, "
+            f"{len(stragglers)} stragglers flagged"
+        )
+        lines.extend(events_section(events[-max_events:], max_events))
+        rendered_any = True
+
+    if not rendered_any:
+        lines.append("(no artifacts provided)")
+    return "\n".join(lines)

@@ -92,8 +92,10 @@ def tracer_tree(tracer: Tracer) -> List[Dict[str, Any]]:
     return build_tree([span_to_dict(s) for s in tracer.finished_spans()])
 
 
-def render_tree(tracer: Tracer, max_depth: Optional[int] = None) -> str:
-    """Human-readable indented rendering of the trace forest."""
+def render_tree_records(
+    records: List[Dict[str, Any]], max_depth: Optional[int] = None
+) -> str:
+    """Human-readable indented rendering of span dicts (JSONL records)."""
     lines: List[str] = []
 
     def walk(node: Dict[str, Any], depth: int) -> None:
@@ -108,9 +110,16 @@ def render_tree(tracer: Tracer, max_depth: Optional[int] = None) -> str:
         for child in node["children"]:
             walk(child, depth + 1)
 
-    for root in tracer_tree(tracer):
+    for root in build_tree(records):
         walk(root, 0)
     return "\n".join(lines) if lines else "(no finished spans)"
+
+
+def render_tree(tracer: Tracer, max_depth: Optional[int] = None) -> str:
+    """Human-readable indented rendering of the trace forest."""
+    return render_tree_records(
+        [span_to_dict(s) for s in tracer.finished_spans()], max_depth
+    )
 
 
 # -- metrics --------------------------------------------------------------
@@ -121,8 +130,46 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition spec.
+
+    Backslash, double-quote and newline must be escaped inside the quoted
+    label value (in that order — escaping the backslash first keeps the
+    transform reversible).
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (used by the round-trip parser)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            else:  # \\ and \" (unknown escapes pass the char through)
+                out.append(nxt)
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape backslash and newline only (spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(pairs, extra: Optional[str] = None) -> str:
-    parts = [f'{k}="{v}"' for k, v in pairs]
+    parts = [f'{k}="{escape_label_value(str(v))}"' for k, v in pairs]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -133,7 +180,7 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
     lines: List[str] = []
     for metric in registry.metrics:
         if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.type_name}")
         if isinstance(metric, Histogram):
             for key in metric.labels_seen():
@@ -162,7 +209,93 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def parse_prometheus(text: str) -> Dict[str, List[tuple]]:
+    """Parse text exposition back into ``name -> [(labels, value), ...]``.
+
+    A deliberately small parser covering what :func:`metrics_to_prometheus`
+    emits — enough for the round-trip tests that pin the escaping rules
+    (quoted label values with ``\\\\``, ``\\"`` and ``\\n`` escapes).
+    """
+    out: Dict[str, List[tuple]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        brace = line.find("{")
+        labels: Dict[str, str] = {}
+        if brace != -1:
+            close = line.rindex("}")
+            name = line[:brace]
+            body = line[brace + 1 : close]
+            value_text = line[close + 1 :].strip()
+            index = 0
+            while index < len(body):
+                eq = body.index("=", index)
+                key = body[index:eq].strip().lstrip(",").strip()
+                if body[eq + 1] != '"':
+                    raise ValueError(f"unquoted label value in {line!r}")
+                cursor = eq + 2
+                raw: List[str] = []
+                while body[cursor] != '"':
+                    if body[cursor] == "\\":
+                        raw.append(body[cursor : cursor + 2])
+                        cursor += 2
+                    else:
+                        raw.append(body[cursor])
+                        cursor += 1
+                labels[key] = unescape_label_value("".join(raw))
+                index = cursor + 1
+        else:
+            name, _, value_text = line.partition(" ")
+            value_text = value_text.strip()
+        value = (
+            float("inf") if value_text == "+Inf" else float(value_text)
+        )
+        out.setdefault(name, []).append((labels, value))
+    return out
+
+
 # -- phase summary --------------------------------------------------------
+
+def phase_totals_records(records: List[Dict[str, Any]]) -> Dict[str, float]:
+    """Summed durations of span dicts grouped by their ``phase`` attr."""
+    totals: Dict[str, float] = {}
+    for record in records:
+        phase = (record.get("attrs") or {}).get("phase")
+        if phase is not None and record.get("end") is not None:
+            totals[str(phase)] = totals.get(str(phase), 0.0) + (
+                record["end"] - record["start"]
+            )
+    return totals
+
+
+def _phase_table(totals: Dict[str, float], title: str) -> str:
+    known = [p for p in PHASE_ORDER if p in totals]
+    extra = sorted(p for p in totals if p not in PHASE_ORDER)
+    rows = [(p, totals[p]) for p in known + extra]
+    if not rows:
+        return f"{title}\n(no phase-tagged spans)"
+    name_width = max(len("phase"), max(len(name) for name, _ in rows))
+    lines = [
+        title,
+        f"{'phase'.ljust(name_width)}  {'seconds':>10}",
+        f"{'-' * name_width}  {'-' * 10}",
+    ]
+    for name, seconds in rows:
+        lines.append(f"{name.ljust(name_width)}  {seconds:10.1f}")
+    lines.append(f"{'-' * name_width}  {'-' * 10}")
+    lines.append(
+        f"{'total'.ljust(name_width)}  {sum(t for _, t in rows):10.1f}"
+    )
+    return "\n".join(lines)
+
+
+def phase_summary_records(
+    records: List[Dict[str, Any]], title: str = "per-phase summary"
+) -> str:
+    """ASCII phase table from span dicts (exported JSONL records)."""
+    return _phase_table(phase_totals_records(records), title)
+
 
 def phase_totals(tracer: Tracer) -> Dict[str, float]:
     """Summed durations of finished spans grouped by their ``phase`` attr.
@@ -181,23 +314,7 @@ def phase_totals(tracer: Tracer) -> Dict[str, float]:
 
 def phase_summary(tracer: Tracer, title: str = "per-phase summary") -> str:
     """ASCII table of phase totals, in the paper's phase order."""
-    totals = phase_totals(tracer)
-    known = [p for p in PHASE_ORDER if p in totals]
-    extra = sorted(p for p in totals if p not in PHASE_ORDER)
-    rows = [(p, totals[p]) for p in known + extra]
-    if not rows:
-        return f"{title}\n(no phase-tagged spans)"
-    name_width = max(len("phase"), max(len(name) for name, _ in rows))
-    lines = [
-        title,
-        f"{'phase'.ljust(name_width)}  {'seconds':>10}",
-        f"{'-' * name_width}  {'-' * 10}",
-    ]
-    for name, seconds in rows:
-        lines.append(f"{name.ljust(name_width)}  {seconds:10.1f}")
-    lines.append(f"{'-' * name_width}  {'-' * 10}")
-    lines.append(f"{'total'.ljust(name_width)}  {sum(t for _, t in rows):10.1f}")
-    return "\n".join(lines)
+    return _phase_table(phase_totals(tracer), title)
 
 
 def to_timeline(

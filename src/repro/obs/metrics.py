@@ -53,6 +53,45 @@ def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float,
 DEFAULT_LATENCY_BUCKETS = exponential_buckets(0.005, 2.0, 16)
 
 
+def quantile_from_cumulative(
+    pairs: List[Tuple[float, int]], q: float
+) -> float:
+    """Estimate the *q*-quantile from ``(le, cumulative count)`` pairs.
+
+    Monotone (piecewise-linear) interpolation inside the bucket holding
+    the target rank, the same estimate ``histogram_quantile`` computes in
+    PromQL: the rank is ``q * total``; observations are assumed uniform
+    within a bucket; the first finite bucket interpolates from 0 and the
+    ``+Inf`` bucket degrades to the highest finite bound.  Returns ``nan``
+    with no observations.  Shared by :meth:`Histogram.quantile` and the
+    sliding-window estimators in :mod:`repro.obs.slo`.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError("quantile must be in [0, 1]")
+    if not pairs:
+        return float("nan")
+    total = pairs[-1][1]
+    if total == 0:
+        return float("nan")
+    rank = q * total
+    previous_bound = 0.0
+    previous_cum = 0
+    for index, (bound, cumulative) in enumerate(pairs):
+        if cumulative >= rank:
+            if bound == float("inf"):
+                # Past the last finite bound there is no upper edge to
+                # interpolate toward; report the highest finite bound
+                # (or the rank-holding count when there is none).
+                return previous_bound if index > 0 else float("nan")
+            in_bucket = cumulative - previous_cum
+            if in_bucket <= 0:
+                return bound
+            fraction = (rank - previous_cum) / in_bucket
+            return previous_bound + (bound - previous_bound) * fraction
+        previous_bound, previous_cum = bound, cumulative
+    return previous_bound  # pragma: no cover - +Inf pair is always last
+
+
 class Metric:
     """Base: one named metric holding labeled series."""
 
@@ -188,6 +227,18 @@ class Histogram(Metric):
             return 0.0
         return series.sum / series.count
 
+    def quantile(self, q: float, **labels: object) -> float:
+        """Estimated *q*-quantile of one labeled series.
+
+        Monotone interpolation over the cumulative bucket counts (see
+        :func:`quantile_from_cumulative`); the error is bounded by the
+        width of the bucket holding the target rank.  ``nan`` when the
+        series has no observations.
+        """
+        return quantile_from_cumulative(
+            self.cumulative_counts(**labels), q
+        )
+
     def cumulative_counts(self, **labels: object) -> List[Tuple[float, int]]:
         """Prometheus-style ``(le, cumulative count)`` pairs, +Inf last."""
         series = self._series.get(_label_key(labels))
@@ -293,6 +344,9 @@ class _NullMetric:
         return 0
 
     def mean(self, **labels: object) -> float:
+        return 0.0
+
+    def quantile(self, q: float, **labels: object) -> float:
         return 0.0
 
     def series(self) -> dict:

@@ -1,0 +1,287 @@
+"""Continuous profiling: folded span stacks on the simulated clock.
+
+Two complementary views of where a session's time goes, both expressed in
+the collapsed "flame graph" format (``phase;subphase;detail weight``):
+
+* :func:`fold_records` — a **deterministic exact fold** over the finished
+  trace.  Every phase-tagged span is swept boundary-by-boundary; each
+  elementary time slice is attributed to the deepest descendant span
+  active during it (the span's ancestor chain becomes the stack), and
+  time no descendant covers is the phase's self time.  Per phase, the
+  folded weights are anchored so they **sum exactly to the phase total**
+  that :func:`repro.obs.exporters.phase_totals` (and therefore
+  ``GridBreakdown``) reports — the profile and the paper tables can never
+  disagree.
+* :class:`SamplingProfiler` — a **live sampler**: a simulation process
+  that wakes every ``period`` simulated seconds and folds the currently
+  *open* span stacks, the way a wall-clock profiler samples threads.
+  Cheap, available mid-run (it feeds the dashboard), and statistically
+  convergent to the exact fold as the period shrinks.
+
+Both emit/ingest one-object-per-line JSONL so profiles ride the same
+export path as traces and events.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import Span, Tracer
+
+
+FrameWeights = Dict[str, float]
+
+
+# -- exact fold over finished spans ---------------------------------------
+
+def _clip(
+    start: float, end: float, lo: float, hi: float
+) -> Optional[tuple]:
+    clipped_start = max(start, lo)
+    clipped_end = min(end, hi)
+    if clipped_end <= clipped_start:
+        return None
+    return (clipped_start, clipped_end)
+
+
+def fold_records(records: List[Dict[str, Any]]) -> FrameWeights:
+    """Exact folded stacks from span dicts (see module docstring).
+
+    Only spans tagged with a ``phase`` attribute root a fold; their
+    finished descendants (clipped to the root's interval) form the
+    stacks.  Anchoring guarantees, per phase::
+
+        math.fsum(w for stack, w in weights.items()
+                  if stack == phase or stack.startswith(phase + ";"))
+        == sum of that phase's root durations
+    """
+    finished = [r for r in records if r.get("end") is not None]
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    for record in finished:
+        parent = record.get("parent_id")
+        if parent:
+            children.setdefault(parent, []).append(record)
+
+    weights: FrameWeights = {}
+    phase_targets: Dict[str, float] = {}
+
+    for root in finished:
+        phase = (root.get("attrs") or {}).get("phase")
+        if phase is None:
+            continue
+        phase = str(phase)
+        lo, hi = root["start"], root["end"]
+        phase_targets[phase] = phase_targets.get(phase, 0.0) + (hi - lo)
+        weights.setdefault(phase, 0.0)
+        if hi <= lo:
+            continue
+
+        # Depth-first collection of descendants, remembering each one's
+        # stack path (names below the root) and depth.
+        entries = []  # (clipped_start, clipped_end, depth, seq, path)
+        stack = [(root, 0, ())]
+        seq = 0
+        while stack:
+            node, depth, path = stack.pop()
+            for child in children.get(node["span_id"], ()):  # start order
+                interval = _clip(child["start"], child["end"], lo, hi)
+                child_path = path + (child["name"],)
+                if interval is not None:
+                    seq += 1
+                    entries.append(
+                        (interval[0], interval[1], depth + 1, seq, child_path)
+                    )
+                stack.append((child, depth + 1, child_path))
+
+        if not entries:
+            weights[phase] += hi - lo
+            continue
+
+        boundaries = sorted(
+            {lo, hi}
+            | {e[0] for e in entries}
+            | {e[1] for e in entries}
+        )
+        for left, right in zip(boundaries, boundaries[1:]):
+            active = [
+                e for e in entries if e[0] <= left and e[1] >= right
+            ]
+            if not active:
+                key = phase  # self time: no descendant covers this slice
+            else:
+                # Deepest active span wins the slice; ties go to the most
+                # recently started (largest seq) — the innermost frame.
+                _, _, _, _, path = max(
+                    active, key=lambda e: (e[2], e[3])
+                )
+                key = ";".join((phase,) + path)
+            weights[key] = weights.get(key, 0.0) + (right - left)
+
+    # Anchor: adjust each phase's self-time entry until the folded sum is
+    # bit-equal to the phase total (float addition of slice lengths can
+    # round away from end-start; fsum is order-independent, so nudging one
+    # entry converges in a step or two).
+    for phase, target in phase_targets.items():
+        keys = [
+            k for k in weights if k == phase or k.startswith(phase + ";")
+        ]
+        for _ in range(8):
+            total = math.fsum(weights[k] for k in keys)
+            if total == target:
+                break
+            weights[phase] += target - total
+    return weights
+
+
+def fold_tracer(tracer: Tracer) -> FrameWeights:
+    """Exact folded stacks of a live tracer's finished spans."""
+    from repro.obs.exporters import span_to_dict
+
+    return fold_records(
+        [span_to_dict(span) for span in tracer.finished_spans()]
+    )
+
+
+def phase_weights(weights: FrameWeights) -> Dict[str, float]:
+    """Per-phase folded totals (``fsum`` over each phase's stacks)."""
+    phases: Dict[str, List[float]] = {}
+    for stack, weight in weights.items():
+        phase = stack.split(";", 1)[0]
+        phases.setdefault(phase, []).append(weight)
+    return {
+        phase: math.fsum(values) for phase, values in sorted(phases.items())
+    }
+
+
+# -- live sampling profiler ------------------------------------------------
+
+class SamplingProfiler:
+    """Samples open span stacks every ``period`` simulated seconds.
+
+    Install on an enabled :class:`~repro.obs.Observability` and start:
+
+    >>> profiler = SamplingProfiler(obs, period=1.0)
+    >>> profiler.install(env)          # doctest: +SKIP
+
+    Each tick attributes ``period`` seconds to every currently open leaf
+    span's stack (rooted at the nearest phase-tagged ancestor when one
+    exists).  With observability disabled, :meth:`install` is a no-op.
+    """
+
+    def __init__(self, obs, period: float = 1.0) -> None:
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        self.obs = obs
+        self.period = period
+        self.weights: FrameWeights = {}
+        self.samples = 0
+        self._proc = None
+
+    def install(self, env):
+        """Start the sampling loop; returns the process (or ``None``)."""
+        if not getattr(self.obs, "enabled", False):
+            return None
+        self._proc = env.process(self._run(env))
+        return self._proc
+
+    def stop(self) -> None:
+        """Stop the sampling loop (idempotent)."""
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("profiler-stop")
+        self._proc = None
+
+    def _run(self, env):
+        from repro.sim import Interrupt
+
+        try:
+            while True:
+                yield env.timeout(self.period)
+                self.sample()
+        except Interrupt:
+            return
+
+    def sample(self) -> int:
+        """Fold the currently open span stacks once; returns leaf count."""
+        tracer = self.obs.tracer
+        open_spans = [s for s in tracer.spans if s.end is None]
+        if not open_spans:
+            return 0
+        self.samples += 1
+        by_id: Dict[str, Span] = {s.span_id: s for s in open_spans}
+        has_open_child = {
+            s.parent_id for s in open_spans if s.parent_id in by_id
+        }
+        leaves = [s for s in open_spans if s.span_id not in has_open_child]
+        for leaf in leaves:
+            names: List[str] = []
+            phase: Optional[str] = None
+            node: Optional[Span] = leaf
+            while node is not None:
+                names.append(node.name)
+                if phase is None and node.attrs.get("phase") is not None:
+                    phase = str(node.attrs["phase"])
+                node = by_id.get(node.parent_id)
+            names.reverse()
+            if phase is not None:
+                names.insert(0, phase)
+            stack = ";".join(names)
+            self.weights[stack] = self.weights.get(stack, 0.0) + self.period
+        return len(leaves)
+
+
+# -- export / rendering ----------------------------------------------------
+
+def profile_to_jsonl(weights: FrameWeights) -> str:
+    """One ``{"stack": ..., "weight": ...}`` object per line, sorted."""
+    return "\n".join(
+        json.dumps({"stack": stack, "weight": weights[stack]},
+                   sort_keys=True)
+        for stack in sorted(weights)
+    )
+
+
+def profile_from_jsonl(text: str) -> FrameWeights:
+    """Parse a profile JSONL dump back into folded weights."""
+    weights: FrameWeights = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            record = json.loads(line)
+            weights[str(record["stack"])] = float(record["weight"])
+    return weights
+
+
+def folded_lines(weights: FrameWeights) -> str:
+    """The classic collapsed-stack format: ``stack weight`` per line."""
+    return "\n".join(
+        f"{stack} {weights[stack]:g}" for stack in sorted(weights)
+    )
+
+
+def render_profile(
+    weights: FrameWeights, width: int = 40, limit: Optional[int] = None
+) -> str:
+    """ASCII flame-table: heaviest stacks first with proportional bars."""
+    if not weights:
+        return "(no profile samples)"
+    rows = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    if limit is not None:
+        rows = rows[:limit]
+    total = math.fsum(w for _, w in weights.items())
+    heaviest = rows[0][1] if rows else 0.0
+    name_width = max(len("stack"), max(len(s) for s, _ in rows))
+    lines = [
+        f"{'stack'.ljust(name_width)}  {'seconds':>10}  {'share':>6}",
+    ]
+    for stack, weight in rows:
+        share = weight / total if total else 0.0
+        bar = "#" * max(
+            1 if weight > 0 else 0,
+            int(round(width * (weight / heaviest))) if heaviest else 0,
+        )
+        lines.append(
+            f"{stack.ljust(name_width)}  {weight:10.2f}  {share:6.1%}  {bar}"
+        )
+    return "\n".join(lines)

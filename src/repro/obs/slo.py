@@ -1,0 +1,466 @@
+"""Rolling SLOs: sliding-window quantiles, objectives, error budgets.
+
+The paper's whole claim is a latency claim — interactive response within
+"the limits of human tolerance" — so the telemetry plane must be able to
+*state* that claim as an objective ("poll p99 < 250 ms over 60 s") and
+continuously check it against the live run.  Two estimators back each
+objective, both windowed on the **simulated clock**:
+
+* an **exact reservoir** of the raw ``(time, value)`` observations inside
+  the window — authoritative while the window holds at most
+  ``reservoir_cap`` samples (interactive polling easily fits);
+* a **bucketed sliding histogram** — the window is divided into slots,
+  each holding a bucket-count array; expiring a slot subtracts its counts,
+  so the quantile estimate (monotone interpolation, the same math as
+  :meth:`repro.obs.metrics.Histogram.quantile`) stays O(buckets) however
+  many observations arrive.
+
+:class:`SLOTracker` evaluates every matching policy on each observation:
+crossing the objective transitions the policy into *breached* and emits an
+``slo_breach`` event (``slo_recovered`` on the way back); the tracker also
+integrates **error-budget burn** — the fraction of the allowed
+over-objective observations (``1 - quantile``) actually consumed, both
+windowed and for the whole run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    quantile_from_cumulative,
+)
+
+
+class SLOError(Exception):
+    """Raised on invalid SLO policies or observations."""
+
+
+class SlidingReservoir:
+    """Exact sliding-window reservoir of raw observations.
+
+    Keeps every ``(time, value)`` pair inside ``window_s`` up to ``cap``
+    entries; beyond the cap the oldest entries are shed and the reservoir
+    stops being authoritative (:attr:`saturated`).
+    """
+
+    def __init__(self, window_s: float, cap: int = 512) -> None:
+        if window_s <= 0:
+            raise SLOError("window_s must be > 0")
+        if cap < 1:
+            raise SLOError("cap must be >= 1")
+        self.window_s = window_s
+        self.cap = cap
+        self._items: deque = deque()
+        #: True once the cap forced shedding inside a live window.
+        self.saturated = False
+
+    def observe(self, now: float, value: float) -> None:
+        """Record one observation at simulated time *now*."""
+        self._items.append((now, value))
+        self.prune(now)
+        if len(self._items) > self.cap:
+            self._items.popleft()
+            self.saturated = True
+
+    def prune(self, now: float) -> None:
+        """Drop observations older than the window."""
+        horizon = now - self.window_s
+        items = self._items
+        while items and items[0][0] <= horizon:
+            items.popleft()
+
+    def values(self, now: float) -> List[float]:
+        """Raw values inside the window, in arrival order."""
+        self.prune(now)
+        return [value for _, value in self._items]
+
+    def count(self, now: float) -> int:
+        """Observations inside the window."""
+        self.prune(now)
+        return len(self._items)
+
+    def quantile(self, q: float, now: float) -> float:
+        """Exact *q*-quantile (linear interpolation between order stats)."""
+        if not 0.0 <= q <= 1.0:
+            raise SLOError("quantile must be in [0, 1]")
+        values = sorted(self.values(now))
+        if not values:
+            return float("nan")
+        if len(values) == 1:
+            return values[0]
+        position = q * (len(values) - 1)
+        low = int(position)
+        high = min(low + 1, len(values) - 1)
+        fraction = position - low
+        return values[low] + (values[high] - values[low]) * fraction
+
+
+class WindowedHistogram:
+    """Sliding-window bucket histogram: a ring of per-slot count arrays.
+
+    The window is split into ``slots`` equal time slots; each observation
+    lands in the current slot's bucket array; advancing past a slot
+    boundary zeroes the slots that fell out of the window.  Quantiles are
+    the same monotone interpolation the cumulative registry histogram
+    uses, but computed over only the in-window counts.
+    """
+
+    def __init__(
+        self,
+        window_s: float,
+        slots: int = 12,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        if window_s <= 0:
+            raise SLOError("window_s must be > 0")
+        if slots < 1:
+            raise SLOError("slots must be >= 1")
+        self.window_s = window_s
+        self.slots = slots
+        self.slot_s = window_s / slots
+        self.buckets: Tuple[float, ...] = tuple(
+            buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS
+        )
+        n = len(self.buckets) + 1  # +Inf bucket
+        self._counts = [[0] * n for _ in range(slots)]
+        self._slot_index = 0  # absolute slot number of the current slot
+
+    def _advance(self, now: float) -> None:
+        current = int(now / self.slot_s)
+        behind = current - self._slot_index
+        if behind <= 0:
+            return
+        for offset in range(1, min(behind, self.slots) + 1):
+            slot = (self._slot_index + offset) % self.slots
+            self._counts[slot] = [0] * (len(self.buckets) + 1)
+        self._slot_index = current
+
+    def observe(self, now: float, value: float) -> None:
+        """Record one observation at simulated time *now*."""
+        self._advance(now)
+        index = bisect_left(self.buckets, value)
+        self._counts[self._slot_index % self.slots][index] += 1
+
+    def cumulative_counts(self, now: float) -> List[Tuple[float, int]]:
+        """In-window ``(le, cumulative count)`` pairs, +Inf last."""
+        self._advance(now)
+        totals = [0] * (len(self.buckets) + 1)
+        for slot in self._counts:
+            for index, count in enumerate(slot):
+                totals[index] += count
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(
+            list(self.buckets) + [float("inf")], totals
+        ):
+            running += count
+            out.append((bound, running))
+        return out
+
+    def count(self, now: float) -> int:
+        """Observations inside the window."""
+        return self.cumulative_counts(now)[-1][1]
+
+    def quantile(self, q: float, now: float) -> float:
+        """Bucket-interpolated *q*-quantile of the window."""
+        return quantile_from_cumulative(self.cumulative_counts(now), q)
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """One service-level objective over a named signal.
+
+    ``SLOPolicy("poll-p99", signal="aida.merged", quantile=0.99,
+    objective=0.25, window_s=60.0)`` reads: *the p99 of ``aida.merged``
+    latency over any 60 simulated seconds stays below 250 ms*.
+
+    Parameters
+    ----------
+    name:
+        Unique policy name (appears in events, metrics, the dashboard).
+    signal:
+        Observation stream the policy watches; call sites feed streams
+        via :meth:`SLOTracker.record`.  The service container feeds every
+        completed call as ``service.operation``.
+    objective:
+        Threshold in signal units (seconds for latency signals).
+    quantile:
+        Which quantile is constrained (0.99 → p99).  Its complement,
+        ``1 - quantile``, is the error budget: the fraction of
+        observations allowed over the objective.
+    window_s:
+        Sliding evaluation window in simulated seconds.
+    min_samples:
+        Observations required in-window before the policy can breach
+        (avoids alarming on the first slow call of an empty window).
+    description:
+        Free-text shown on the dashboard.
+    """
+
+    name: str
+    signal: str
+    objective: float
+    quantile: float = 0.99
+    window_s: float = 60.0
+    min_samples: int = 5
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SLOError("policy needs a name")
+        if not self.signal:
+            raise SLOError("policy needs a signal")
+        if self.objective <= 0:
+            raise SLOError("objective must be > 0")
+        if not 0.0 < self.quantile < 1.0:
+            raise SLOError("quantile must be in (0, 1)")
+        if self.window_s <= 0:
+            raise SLOError("window_s must be > 0")
+        if self.min_samples < 1:
+            raise SLOError("min_samples must be >= 1")
+
+
+class _PolicyState:
+    """Live evaluation state of one policy."""
+
+    __slots__ = (
+        "policy",
+        "reservoir",
+        "window",
+        "bad_times",
+        "breached",
+        "breaches",
+        "total_count",
+        "total_bad",
+        "current",
+    )
+
+    def __init__(self, policy: SLOPolicy, reservoir_cap: int) -> None:
+        self.policy = policy
+        self.reservoir = SlidingReservoir(policy.window_s, cap=reservoir_cap)
+        self.window = WindowedHistogram(policy.window_s)
+        #: Times of in-window observations over the objective.
+        self.bad_times: deque = deque()
+        self.breached = False
+        self.breaches = 0
+        self.total_count = 0
+        self.total_bad = 0
+        self.current = float("nan")
+
+
+class SLOTracker:
+    """Evaluates :class:`SLOPolicy` objectives against live observations.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (windows slide on ``env.now``).
+    events:
+        Optional :class:`repro.obs.events.EventLog`; breach/recovery
+        transitions are emitted into it.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; the tracker
+        keeps ``slo_quantile_seconds`` / ``slo_breaches_total`` series
+        per policy.
+    reservoir_cap:
+        Per-policy exact-reservoir capacity; beyond it the bucketed
+        estimator takes over.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        env,
+        events=None,
+        metrics=None,
+        reservoir_cap: int = 512,
+    ) -> None:
+        self.env = env
+        self.events = events
+        self.metrics = metrics
+        self.reservoir_cap = reservoir_cap
+        self._policies: Dict[str, _PolicyState] = {}
+        self._by_signal: Dict[str, List[_PolicyState]] = {}
+
+    # -- policy management -------------------------------------------------
+    def add_policy(self, policy: SLOPolicy) -> SLOPolicy:
+        """Register a policy; duplicate names are rejected."""
+        if policy.name in self._policies:
+            raise SLOError(f"policy {policy.name!r} already registered")
+        state = _PolicyState(policy, self.reservoir_cap)
+        self._policies[policy.name] = state
+        self._by_signal.setdefault(policy.signal, []).append(state)
+        return policy
+
+    @property
+    def policies(self) -> List[SLOPolicy]:
+        """Registered policies, sorted by name."""
+        return [
+            self._policies[name].policy for name in sorted(self._policies)
+        ]
+
+    # -- observation -------------------------------------------------------
+    def record(self, signal: str, value: float) -> None:
+        """Feed one observation of *signal*; evaluates matching policies."""
+        states = self._by_signal.get(signal)
+        if not states:
+            return
+        now = self.env.now
+        for state in states:
+            self._observe(state, now, value)
+
+    def _observe(self, state: _PolicyState, now: float, value: float) -> None:
+        policy = state.policy
+        state.reservoir.observe(now, value)
+        state.window.observe(now, value)
+        state.total_count += 1
+        if value > policy.objective:
+            state.total_bad += 1
+            state.bad_times.append(now)
+        horizon = now - policy.window_s
+        while state.bad_times and state.bad_times[0] <= horizon:
+            state.bad_times.popleft()
+        self._evaluate(state, now)
+
+    def _estimate(self, state: _PolicyState, now: float) -> Tuple[float, int]:
+        """(quantile estimate, in-window sample count) for one policy."""
+        if not state.reservoir.saturated:
+            return (
+                state.reservoir.quantile(state.policy.quantile, now),
+                state.reservoir.count(now),
+            )
+        return (
+            state.window.quantile(state.policy.quantile, now),
+            state.window.count(now),
+        )
+
+    def _evaluate(self, state: _PolicyState, now: float) -> None:
+        policy = state.policy
+        estimate, samples = self._estimate(state, now)
+        state.current = estimate
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "slo_quantile_seconds",
+                "Current windowed quantile estimate per SLO policy",
+            ).set(0.0 if estimate != estimate else estimate, policy=policy.name)
+        if samples < policy.min_samples:
+            return
+        over = estimate == estimate and estimate > policy.objective
+        if over and not state.breached:
+            state.breached = True
+            state.breaches += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "slo_breaches_total",
+                    "SLO breach transitions per policy",
+                ).inc(policy=policy.name)
+            if self.events is not None:
+                self.events.emit(
+                    "slo_breach",
+                    message=(
+                        f"{policy.name}: p{policy.quantile * 100:g} "
+                        f"{estimate:.3f}s > objective {policy.objective:.3f}s"
+                    ),
+                    severity="warning",
+                    policy=policy.name,
+                    signal=policy.signal,
+                    estimate=estimate,
+                    objective=policy.objective,
+                    samples=samples,
+                )
+        elif not over and state.breached:
+            state.breached = False
+            if self.events is not None:
+                self.events.emit(
+                    "slo_recovered",
+                    message=(
+                        f"{policy.name}: p{policy.quantile * 100:g} back to "
+                        f"{estimate:.3f}s"
+                    ),
+                    policy=policy.name,
+                    signal=policy.signal,
+                    estimate=estimate,
+                    objective=policy.objective,
+                )
+
+    # -- reporting ---------------------------------------------------------
+    def status(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        """Current evaluation of every policy (or one, by *name*).
+
+        Each row reports the live quantile estimate, breach state, and
+        error-budget accounting: ``budget_remaining`` is the unconsumed
+        fraction of the windowed budget (clamped at 0) and ``burn_rate``
+        is the consumption speed relative to exactly-on-budget (1.0 =
+        spending the budget as fast as it accrues, >1 = burning it down).
+        """
+        now = self.env.now
+        names = [name] if name is not None else sorted(self._policies)
+        rows: List[Dict[str, object]] = []
+        for policy_name in names:
+            state = self._policies.get(policy_name)
+            if state is None:
+                raise SLOError(f"unknown policy {policy_name!r}")
+            policy = state.policy
+            estimate, samples = self._estimate(state, now)
+            state.current = estimate
+            horizon = now - policy.window_s
+            while state.bad_times and state.bad_times[0] <= horizon:
+                state.bad_times.popleft()
+            allowed = 1.0 - policy.quantile
+            bad_fraction = (
+                len(state.bad_times) / samples if samples else 0.0
+            )
+            burn_rate = bad_fraction / allowed if allowed > 0 else 0.0
+            total_bad_fraction = (
+                state.total_bad / state.total_count
+                if state.total_count
+                else 0.0
+            )
+            rows.append(
+                {
+                    "name": policy.name,
+                    "signal": policy.signal,
+                    "quantile": policy.quantile,
+                    "objective": policy.objective,
+                    "window_s": policy.window_s,
+                    "estimate": estimate,
+                    "samples": samples,
+                    "exact": not state.reservoir.saturated,
+                    "breached": state.breached,
+                    "breaches": state.breaches,
+                    "budget_remaining": max(0.0, 1.0 - burn_rate),
+                    "burn_rate": burn_rate,
+                    "total_burn": (
+                        total_bad_fraction / allowed if allowed > 0 else 0.0
+                    ),
+                }
+            )
+        return rows
+
+
+class NullSLOTracker:
+    """SLO tracker stand-in whose every operation is free (or nearly so)."""
+
+    enabled = False
+    env = None
+    events = None
+    metrics = None
+    policies: List[SLOPolicy] = []
+
+    def add_policy(self, policy: SLOPolicy) -> SLOPolicy:
+        return policy
+
+    def record(self, signal: str, value: float) -> None:
+        pass
+
+    def status(self, name: Optional[str] = None) -> list:
+        return []
+
+
+NULL_SLO_TRACKER = NullSLOTracker()

@@ -166,10 +166,26 @@ class ReplicaManager:
     # -- catalog/cache consistency hooks -----------------------------------
     def _on_evict(self, node: str, key: str, reason: str) -> None:
         self._evicted.inc(reason=reason)
+        self.obs.events.emit(
+            "replica_evicted",
+            message=f"{node} dropped {key} ({reason})",
+            severity="debug",
+            node=node,
+            key=key,
+            reason=reason,
+        )
         self.catalog.unregister(key, node, reason=reason)
 
     def _on_invalidate(self, replica: Replica, reason: str) -> None:
         self._invalidated.inc(reason=reason)
+        self.obs.events.emit(
+            "replica_invalidated",
+            message=f"{replica.host} replica {replica.key} ({reason})",
+            severity="debug",
+            host=replica.host,
+            key=replica.key,
+            reason=reason,
+        )
         cache = self.caches.get(replica.host)
         if cache is not None:
             cache.remove(replica.key, reason=reason)

@@ -182,14 +182,29 @@ class FailureInjector:
         network: Optional[Network] = None,
         replicas: Optional["ReplicaManager"] = None,
         session_service=None,
+        obs=None,
     ) -> None:
+        from repro.obs import NULL_OBS
+
         self.env = env
         self.scheduler = scheduler
         self.network = network
         self.replicas = replicas
         self.session_service = session_service
+        self.obs = obs or NULL_OBS
         #: Chronological record of injected faults: (time, kind, worker).
         self.log: List[Tuple[float, str, str]] = []
+
+    def _record(self, kind: str, target: str, **attrs) -> None:
+        self.log.append((self.env.now, kind, target))
+        self.obs.events.emit(
+            "fault_injected",
+            message=f"{kind} -> {target}",
+            severity="warning",
+            kind=kind,
+            target=target,
+            **attrs,
+        )
 
     # -- direct injection ------------------------------------------------
     def crash_worker(self, name: str) -> None:
@@ -199,7 +214,7 @@ class FailureInjector:
         self._interrupt_job(name, NodeCrash(name, "worker crashed"))
         if self.replicas is not None:
             self.replicas.invalidate_host(name)
-        self.log.append((self.env.now, "crash", name))
+        self._record("crash", name)
 
     def hang_worker(self, name: str) -> None:
         """Freeze *name*: the job never terminates, heartbeats stop."""
@@ -208,7 +223,7 @@ class FailureInjector:
         self._interrupt_job(name, NodeHang(name, "worker hung"))
         if self.replicas is not None:
             self.replicas.invalidate_host(name)
-        self.log.append((self.env.now, "hang", name))
+        self._record("hang", name)
 
     def slow_worker(self, name: str, factor: float = 4.0) -> None:
         """Degrade *name*: analysis compute is scaled by *factor*."""
@@ -216,7 +231,7 @@ class FailureInjector:
             raise ValueError("factor must be >= 1.0")
         worker = self.scheduler.element.worker(name)
         worker.slow_factor = factor
-        self.log.append((self.env.now, "slow", name))
+        self._record("slow", name, factor=factor)
 
     def cut_links(self, name: str) -> List[str]:
         """Take down every network link of worker *name*.
@@ -235,7 +250,7 @@ class FailureInjector:
             # Conservative: a partitioned worker may be rebuilt before its
             # links return, so treat its cached parts as lost.
             self.replicas.invalidate_host(name)
-        self.log.append((self.env.now, "link-down", name))
+        self._record("link-down", name)
         return failed
 
     def restore_links(self, name: str) -> None:
@@ -266,7 +281,7 @@ class FailureInjector:
             raise ValueError("injector built without a session_service")
         self.session_service.crash(torn_checkpoint=torn_checkpoint)
         kind = "checkpoint-torn" if torn_checkpoint else "service-crash"
-        self.log.append((self.env.now, kind, "manager"))
+        self._record(kind, "manager")
 
     def restart_services(self):
         """Restart the services and run cold-start recovery.

@@ -231,6 +231,11 @@ class AIDAManagerService:
             return status
         session[snapshot.engine_id] = snapshot
         self._snapshot_metric.inc()
+        # Straggler detection watches the cumulative progress counter on
+        # every accepted snapshot (events/s, snapshot lag per engine).
+        self.obs.anomaly.record_snapshot(
+            session_id, snapshot.engine_id, snapshot.events_processed
+        )
         return "accepted"
 
     def _ingest_tree(self, session_id: str, snapshot: Snapshot) -> str:

@@ -275,6 +275,9 @@ class ServiceContainer:
             "service_call_seconds",
             "Service call latency (request to response, simulated seconds)",
         ).observe(self.env.now - started, channel=envelope.channel)
+        # Every completed call is an SLO signal named service.operation —
+        # policies like "aida.merged p99 < 250 ms over 60 s" attach here.
+        self.obs.slo.record(key, self.env.now - started)
         if metrics.enabled:
             # Response payload accounting: how many bytes each operation
             # ships back (merged trees dominate; the codec + delta work

@@ -81,6 +81,9 @@ class WorkerRegistryService:
         previous = self._heartbeats.get(key)
         if previous is not None:
             self._gap_metric.observe(now - previous)
+            self.obs.anomaly.record_heartbeat(
+                session_id, engine_id, now - previous
+            )
         self._heartbeats[key] = now
 
     def last_heartbeat(self, session_id: str, engine_id: str) -> Optional[float]:

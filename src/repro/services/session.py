@@ -716,6 +716,9 @@ class SessionService:
             "monitor_proc": None,
             "checkpoint_proc": None,
             "redispatch_proc": None,
+            #: engine_id -> worker currently demoted on straggler hints
+            #: (diffed against the anomaly monitor's flags each sweep).
+            "straggler_hints": {},
             # Trace context of the creating call: recovery work started by
             # the background monitor parents here instead of floating free.
             "trace_parent": self.obs.tracer.current_id,
@@ -746,6 +749,13 @@ class SessionService:
                 self._checkpoint_loop(session_id)
             )
         self.resources.set_property(ref, "state", "ready")
+        self.obs.events.emit(
+            "session_created",
+            message=f"{session_id} with {count} engines",
+            session=session_id,
+            owner=context.identity,
+            engines=count,
+        )
         return SessionInfo(
             session_id=session_id,
             resource=ref,
@@ -1196,6 +1206,9 @@ class SessionService:
             for job in all_jobs
             if job.state == "failed" and isinstance(job.error, NodeFailure)
         ]
+        workers_by_engine = {
+            ref.engine_id: ref.worker for ref in session["references"]
+        }
         return {
             "session_id": session_id,
             "owner": session["context"].identity,
@@ -1219,6 +1232,7 @@ class SessionService:
             "engines": [
                 {
                     "engine_id": host.engine_id,
+                    "worker": workers_by_engine.get(host.engine_id),
                     "cursor": host.engine.cursor,
                     "total": host.engine.total_events,
                     "state": host.engine.controller.state,
@@ -1302,7 +1316,41 @@ class SessionService:
                 session["redispatch_proc"] = proc
                 yield proc
                 session["redispatch_proc"] = None
+            self._apply_straggler_hints(session_id)
             self._maybe_end_recovery(session_id)
+
+    def _apply_straggler_hints(self, session_id: str) -> None:
+        """One anomaly sweep: demote flagged workers, restore recovered ones.
+
+        Detection is advisory — a flagged worker is deprioritized for new
+        placements and its engine's heartbeat timeout shortened, but
+        nothing is killed; a recovered engine gets both hints lifted.
+        """
+        session = self._sessions.get(session_id)
+        if session is None or session["closed"]:
+            return
+        monitor = session["monitor"]
+        hints: Dict[str, str] = session["straggler_hints"]
+        flagged = {
+            report.engine_id for report in self.obs.anomaly.detect(session_id)
+        }
+        workers_by_engine = {
+            ref.engine_id: ref.worker for ref in session["references"]
+        }
+        scheduler = self.gram.scheduler
+        for engine_id in sorted(flagged - set(hints)):
+            worker = workers_by_engine.get(engine_id)
+            if worker is None:
+                continue
+            hints[engine_id] = worker
+            scheduler.deprioritize(worker)
+            if monitor is not None:
+                monitor.suspect(engine_id)
+        for engine_id in sorted(set(hints) - flagged):
+            worker = hints.pop(engine_id)
+            scheduler.restore_priority(worker)
+            if monitor is not None:
+                monitor.clear_suspicion(engine_id)
 
     def _quarantine(self, session_id: str, engine_id: str) -> dict:
         """Declare an engine dead: ban its results, orphan its partitions."""
@@ -1329,6 +1377,17 @@ class SessionService:
             "session_quarantines_total",
             "Engines declared dead and quarantined",
         ).inc()
+        self.obs.events.emit(
+            "fault_detected",
+            message=f"{engine_id} silent ({type(cause).__name__})",
+            severity="error",
+            session=session_id,
+            engine=engine_id,
+            cause=type(cause).__name__,
+            silence_s=(
+                self.env.now - last_beat if last_beat is not None else None
+            ),
+        )
         recovery_span = self.obs.tracer.start(
             "session.recover",
             parent_id=session.get("trace_parent"),
@@ -1366,6 +1425,21 @@ class SessionService:
         }
         session["recoveries"].append(record)
         self._log(session_id, "quarantine", engine_id=engine_id)
+        # A dead engine is no straggler: drop its anomaly series and any
+        # placement/suspicion hints it accumulated while degrading.
+        self.obs.anomaly.forget_engine(session_id, engine_id)
+        hinted_worker = session["straggler_hints"].pop(engine_id, None)
+        if hinted_worker is not None:
+            self.gram.scheduler.restore_priority(hinted_worker)
+        self.obs.events.emit(
+            "engine_quarantined",
+            message=f"{engine_id} quarantined, {len(orphaned)} parts orphaned",
+            severity="warning",
+            session=session_id,
+            engine=engine_id,
+            worker=dead_ref.worker if dead_ref is not None else None,
+            orphaned=len(orphaned),
+        )
         if job is not None and job.state not in JobState.TERMINAL:
             self.gram.scheduler.cancel(job.id, cause)
         return record
@@ -1470,6 +1544,17 @@ class SessionService:
                 "session_redispatches_total",
                 "Orphaned partitions re-dispatched to a live engine",
             ).inc()
+            self.obs.events.emit(
+                "engine_redispatched",
+                message=(
+                    f"part {part.part_index} -> {target.engine_id}"
+                    f" on {target.worker}"
+                ),
+                session=session_id,
+                engine=target.engine_id,
+                worker=target.worker,
+                part=part.part_index,
+            )
             ack = self.env.event()
             session["pending_acks"].append(ack)
             yield target.mailbox.put(
@@ -1638,6 +1723,17 @@ class SessionService:
         self.resources.set_property(session["ref"], "state", "closed")
         self.resources.destroy(session["ref"])
         session["closed"] = True
+        # Lift any straggler hints the session left on the scheduler and
+        # drop its anomaly series.
+        for worker in sorted(set(session["straggler_hints"].values())):
+            self.gram.scheduler.restore_priority(worker)
+        session["straggler_hints"] = {}
+        self.obs.anomaly.forget_session(session_id)
+        self.obs.events.emit(
+            "session_closed",
+            message=session_id,
+            session=session_id,
+        )
         # Tombstone first (write-ahead), then drop the checkpoint file —
         # after a crash the journal alone must prove the close happened.
         self._log(session_id, "closed")
@@ -1696,6 +1792,14 @@ class SessionService:
             "checkpoint_writes_total",
             "Durable session checkpoints written, by kind",
         ).inc(kind=kind)
+        if not torn:
+            self.obs.events.emit(
+                "checkpoint_committed",
+                message=f"{session_id} {kind}",
+                severity="debug",
+                session=session_id,
+                kind=kind,
+            )
         return kind
 
     def crash(self, torn_checkpoint: bool = False) -> None:
@@ -1735,6 +1839,12 @@ class SessionService:
             "service_crashes_total",
             "SessionService/AIDA-manager process crashes injected",
         ).inc()
+        self.obs.events.emit(
+            "service_crash",
+            message="session/AIDA manager processes down",
+            severity="error",
+            torn_checkpoint=torn_checkpoint,
+        )
 
     def recover(self):
         """Cold-start recovery from the durable store (generator).
@@ -1790,6 +1900,15 @@ class SessionService:
             "(simulated seconds)",
         ).observe(self.env.now - started)
         span.finish(sessions=restored_sessions, engines=reconciled_engines)
+        self.obs.events.emit(
+            "service_recovered",
+            message=(
+                f"{restored_sessions} sessions rebuilt,"
+                f" {reconciled_engines} engine trees reconciled"
+            ),
+            sessions=restored_sessions,
+            engines=reconciled_engines,
+        )
         return restored_sessions
 
     def _recover_session(self, session_id: str, model: JournalModel):
@@ -1907,6 +2026,7 @@ class SessionService:
             "monitor_proc": None,
             "checkpoint_proc": None,
             "redispatch_proc": None,
+            "straggler_hints": {},
             "trace_parent": span.span_id,
         }
         self._sessions[session_id] = session

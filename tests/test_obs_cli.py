@@ -1,0 +1,127 @@
+"""Operator CLI: ``python -m repro.obs`` subcommands end to end."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main, record_run
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One small instrumented run recorded through the CLI entry point."""
+    out_dir = tmp_path_factory.mktemp("cli-telemetry")
+    summary = record_run(
+        out_dir, nodes=4, size_mb=96.0, n_events=8_000
+    )
+    return summary, out_dir
+
+
+def test_record_exports_all_artifacts(recorded):
+    summary, out_dir = recorded
+    for name in ("spans", "events", "profile", "metrics", "dashboard"):
+        assert name in summary["paths"]
+    assert (out_dir / "spans.jsonl").stat().st_size > 0
+    assert (out_dir / "events.jsonl").stat().st_size > 0
+    assert (out_dir / "profile.jsonl").stat().st_size > 0
+    assert "# TYPE" in (out_dir / "metrics.prom").read_text()
+    assert "ipa status board" in (out_dir / "dashboard.txt").read_text()
+    assert summary["events_processed"] == 8_000
+    # A clean run: no node misbehaves (the aggressive 250 ms poll
+    # objective may still breach — polling pays a per-poll merge cost).
+    assert summary["stragglers_flagged"] == 0
+    assert summary["event_counts"]["session_created"] == 1
+    assert summary["event_counts"]["session_closed"] == 1
+    assert summary["event_counts"]["checkpoint_committed"] > 0
+
+
+def test_record_subcommand_via_main(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "record",
+                "--out",
+                str(tmp_path),
+                "--nodes",
+                "4",
+                "--size-mb",
+                "96",
+                "--events",
+                "8000",
+                "--slow",
+                "w1:4",
+            ]
+        )
+        == 0
+    )
+    printed = capsys.readouterr().out
+    assert "session: session-1" in printed
+    assert "slo breaches:" in printed
+    assert "stragglers flagged:" in printed
+    assert "artifacts:" in printed
+    events = [
+        json.loads(line)
+        for line in (tmp_path / "events.jsonl").read_text().splitlines()
+        if line.strip()
+    ]
+    assert any(
+        e["kind"] == "fault_injected" and e["attrs"]["target"] == "w1"
+        for e in events
+    )
+
+
+def test_trace_and_phases_subcommands(recorded, capsys):
+    _, out_dir = recorded
+    spans = str(out_dir / "spans.jsonl")
+    assert main(["trace", spans, "--max-depth", "2"]) == 0
+    rendered = capsys.readouterr().out
+    assert "call:control.create_session" in rendered
+    assert "session.create" in rendered
+    assert main(["phases", spans]) == 0
+    table = capsys.readouterr().out
+    for phase in ("move_whole", "split", "move_parts", "stage_code"):
+        assert phase in table
+    assert "total" in table
+
+
+def test_events_subcommand_with_filters(recorded, capsys):
+    _, out_dir = recorded
+    events = str(out_dir / "events.jsonl")
+    assert main(["events", events]) == 0
+    assert "session_created" in capsys.readouterr().out
+    assert main(["events", events, "--kind", "session_closed", "--tail", "1"]) == 0
+    filtered = capsys.readouterr().out
+    assert "session_closed" in filtered
+    assert "session_created" not in filtered
+
+
+def test_profile_subcommand(recorded, capsys):
+    _, out_dir = recorded
+    assert main(["profile", str(out_dir / "profile.jsonl"), "--limit", "5"]) == 0
+    rendered = capsys.readouterr().out
+    assert "stack" in rendered
+    assert "seconds" in rendered
+
+
+def test_dashboard_subcommand_from_artifacts(recorded, capsys):
+    _, out_dir = recorded
+    assert (
+        main(
+            [
+                "dashboard",
+                "--events",
+                str(out_dir / "events.jsonl"),
+                "--profile",
+                str(out_dir / "profile.jsonl"),
+                "--spans",
+                str(out_dir / "spans.jsonl"),
+            ]
+        )
+        == 0
+    )
+    board = capsys.readouterr().out
+    assert "ipa status board (from export)" in board
+    assert "profile:" in board
+    assert "SLO breaches" in board
+    assert main(["dashboard"]) == 0
+    assert "(no artifacts provided)" in capsys.readouterr().out

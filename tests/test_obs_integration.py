@@ -106,3 +106,180 @@ def test_telemetry_reproduces_table2_row(traced_run):
     totals = phase_totals(traced_run.obs.tracer)
     for phase, paper_seconds in TABLE2_N16.items():
         assert totals[phase] == pytest.approx(paper_seconds, rel=0.12), phase
+
+
+# -- telemetry through faults and recovery ---------------------------------
+
+def _chaos_site(n_workers=8, n_events=8_000, size_mb=96.0):
+    from repro.client.client import IPAClient
+    from repro.core.site import GridSite, SiteConfig
+
+    site = GridSite(
+        SiteConfig(n_workers=n_workers, enable_observability=True)
+    )
+    site.register_dataset(
+        "ds-obs",
+        "/test/ds-obs",
+        size_mb=size_mb,
+        n_events=n_events,
+        metadata={"experiment": "ilc"},
+        content={"kind": "ilc", "seed": 7},
+    )
+    return site, IPAClient(site, site.enroll_user("/O=ILC/CN=obs"))
+
+
+def test_trace_and_events_span_the_recovery_boundary():
+    """One tracer carries spans from before the crash and after recovery."""
+    from repro.analysis import higgs
+
+    site, client = _chaos_site()
+    n = 8
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect(n_engines=n)
+        yield from client.select_dataset("ds-obs")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        while site.aida.snapshot_count(info.session_id) < n:
+            yield site.env.timeout(1.0)
+        site.injector.crash_services()
+        yield site.env.timeout(10.0)
+        yield site.injector.restart_services()
+        yield from client.wait_for_completion(
+            poll_interval=5.0, timeout=100_000.0
+        )
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+
+    counts = site.obs.events.counts()
+    assert counts["service_crash"] == 1
+    assert counts["service_recovered"] == 1
+    assert counts["session_created"] == 1
+    assert counts["session_closed"] == 1
+    crash = site.obs.events.events(kind="service_crash")[0]
+    recovered = site.obs.events.events(kind="service_recovered")[0]
+    assert crash.severity == "error"
+    assert recovered.time > crash.time
+    assert recovered.attrs["sessions"] == 1
+
+    tracer = site.obs.tracer
+    names = {span.name for span in tracer.spans}
+    assert "service.recover" in names
+    # Spans from both sides of the boundary live in the same trace, and
+    # the post-recovery merge work is still being recorded.
+    assert any(
+        span.start < crash.time for span in tracer.find("engine.run")
+    )
+    assert any(
+        span.start > recovered.time for span in tracer.find("aida.merge")
+    )
+    assert [span for span in tracer.spans if not span.finished] == []
+
+
+def test_quarantine_and_replica_invalidation_telemetry():
+    """A crashed worker leaves a full event/metric audit trail."""
+    from repro.analysis import higgs
+
+    site, client = _chaos_site()
+    n = 8
+    victim = "w2"
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect(n_engines=n)
+        yield from client.select_dataset("ds-obs")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        while site.aida.snapshot_count(info.session_id) < n:
+            yield site.env.timeout(1.0)
+        site.injector.crash_worker(victim)
+        yield from client.wait_for_completion(
+            poll_interval=5.0, timeout=100_000.0
+        )
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+
+    counts = site.obs.events.counts()
+    assert counts["fault_injected"] == 1
+    assert counts["fault_detected"] == 1
+    assert counts["engine_quarantined"] == 1
+    assert counts["engine_redispatched"] >= 1
+    assert counts.get("replica_invalidated", 0) >= 1
+
+    injected = site.obs.events.events(kind="fault_injected")[0]
+    assert injected.attrs == {"kind": "crash", "target": victim}
+    quarantined = site.obs.events.events(kind="engine_quarantined")[0]
+    assert quarantined.attrs["worker"] == victim
+    detected = site.obs.events.events(kind="fault_detected")[0]
+    assert detected.severity == "error"
+    assert detected.attrs["engine"] == quarantined.attrs["engine"]
+    for event in site.obs.events.events(kind="replica_invalidated"):
+        assert event.attrs["host"] == victim
+
+    metrics = site.obs.metrics
+    assert metrics.get("session_quarantines_total").total() == 1
+    assert metrics.get("session_redispatches_total").total() >= 1
+
+
+def test_status_board_renders_mid_run_and_when_disabled():
+    from repro.analysis import higgs
+    from repro.client.display import status_board
+
+    site, client = _chaos_site()
+    boards = []
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect(n_engines=8)
+        yield from client.select_dataset("ds-obs")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        yield site.env.timeout(30.0)  # mid-run, nothing finished yet
+        boards.append(
+            status_board(
+                site.obs,
+                session_service=site.session_service,
+                session_id=info.session_id,
+            )
+        )
+        yield from client.wait_for_completion(
+            poll_interval=5.0, timeout=100_000.0
+        )
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+    (board,) = boards
+    assert "ipa status board" in board
+    assert "nodes:" in board
+    assert "slo:" in board
+    assert "poll-latency" in board
+    assert "events (last 8):" in board
+
+    from repro.obs import NULL_OBS
+
+    disabled = status_board(NULL_OBS)
+    assert "(observability disabled)" in disabled
+
+
+def test_null_obs_whole_surface_is_noop():
+    """Every telemetry-plane API added this round is free when disabled."""
+    from repro.obs import NULL_OBS
+    from repro.obs.slo import SLOPolicy
+
+    assert NULL_OBS.enabled is False
+    # Event log
+    assert NULL_OBS.events.emit("slo_breach", severity="warning") is None
+    assert NULL_OBS.events.counts() == {}
+    # SLO tracker
+    policy = SLOPolicy(name="p", signal="s", objective=1.0)
+    NULL_OBS.slo.add_policy(policy)
+    NULL_OBS.slo.record("s", 10.0)
+    assert NULL_OBS.slo.status() == []
+    # Anomaly monitor
+    NULL_OBS.anomaly.record_snapshot("s", "e", 10)
+    NULL_OBS.anomaly.record_heartbeat("s", "e", 1.0)
+    assert NULL_OBS.anomaly.detect("s") == []
+    assert NULL_OBS.anomaly.stragglers("s") == []
+    # And nothing above left state behind on the shared singleton.
+    assert NULL_OBS.events.events() == []
+    assert NULL_OBS.slo.policies == []

@@ -1,0 +1,190 @@
+"""Continuous profiler: exact folds, live sampling, JSONL, reconciliation."""
+
+import math
+
+import pytest
+
+from repro.core.experiment import run_grid_experiment
+from repro.obs import NULL_OBS, Observability
+from repro.obs.exporters import phase_totals
+from repro.obs.profile import (
+    SamplingProfiler,
+    fold_records,
+    fold_tracer,
+    folded_lines,
+    phase_weights,
+    profile_from_jsonl,
+    profile_to_jsonl,
+    render_profile,
+)
+from repro.sim import Environment
+
+PHASES = (
+    "session_setup",
+    "move_whole",
+    "split",
+    "move_parts",
+    "stage_code",
+    "analysis",
+)
+
+
+def record(span_id, parent_id, name, start, end, **attrs):
+    return {
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs,
+    }
+
+
+# -- exact fold over synthetic records -------------------------------------
+
+def test_fold_records_attributes_slices_to_deepest_active_span():
+    records = [
+        record("r", None, "run", 0.0, 10.0, phase="analysis"),
+        record("a", "r", "chunk", 1.0, 4.0),
+        record("b", "a", "merge", 2.0, 3.0),
+        record("c", "r", "io", 8.0, 12.0),  # clipped to the root's end
+    ]
+    weights = fold_records(records)
+    assert weights == {
+        "analysis": 5.0,  # self time: [0,1) + [4,8)
+        "analysis;chunk": 2.0,  # [1,2) + [3,4)
+        "analysis;chunk;merge": 1.0,  # [2,3): deepest active wins
+        "analysis;io": 2.0,  # [8,10): clipped
+    }
+    assert phase_weights(weights) == {"analysis": 10.0}
+
+
+def test_fold_records_ignores_unphased_roots_and_open_spans():
+    records = [
+        record("r", None, "run", 0.0, 10.0),  # no phase attr -> not a root
+        record("open", None, "pending", 0.0, None, phase="split"),
+        record("p", None, "move", 3.0, 5.0, phase="move_whole"),
+    ]
+    weights = fold_records(records)
+    assert weights == {"move_whole": 2.0}
+    assert fold_records([]) == {}
+
+
+def test_fold_records_anchors_each_phase_sum_bit_equal():
+    # Many tiny descendant slices whose float sum would drift: the anchor
+    # nudges self time until fsum equals the root duration exactly.
+    children = [
+        record(f"c{i}", "r", "step", 0.1 * i, 0.1 * i + 0.1)
+        for i in range(100)
+    ]
+    records = [record("r", None, "run", 0.0, 10.0, phase="analysis")] + children
+    weights = fold_records(records)
+    total = math.fsum(
+        w
+        for stack, w in weights.items()
+        if stack == "analysis" or stack.startswith("analysis;")
+    )
+    assert total == 10.0  # bit-equal, not approx
+
+
+def test_fold_records_multiple_roots_same_phase_accumulate():
+    records = [
+        record("r1", None, "part", 0.0, 2.0, phase="move_parts"),
+        record("r2", None, "part", 5.0, 8.0, phase="move_parts"),
+    ]
+    assert phase_weights(fold_records(records)) == {"move_parts": 5.0}
+
+
+# -- reconciliation with the grid experiment -------------------------------
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_grid_experiment(
+        96.0, 8, events_per_mb=4, collect_tree=False, observability=True
+    )
+
+
+def test_folded_profile_reconciles_exactly_with_breakdown(traced_run):
+    """The tentpole acceptance: profile and GridBreakdown cannot disagree."""
+    weights = fold_tracer(traced_run.obs.tracer)
+    folded = phase_weights(weights)
+    totals = phase_totals(traced_run.obs.tracer)
+    for phase in PHASES:
+        # Sum-equal (bit-equal, no tolerance) against both the trace's
+        # per-phase totals and the experiment's reported breakdown.
+        assert folded[phase] == totals[phase], phase
+        assert folded[phase] == getattr(traced_run, phase), phase
+
+
+def test_folded_profile_has_stack_depth(traced_run):
+    weights = fold_tracer(traced_run.obs.tracer)
+    # Staging phases decompose into transfer sub-stacks.
+    assert any(
+        stack.startswith("move_whole;") and "ftp.transfer" in stack
+        for stack in weights
+    )
+    assert any(
+        stack.startswith("move_parts;") and "ftp.part" in stack
+        for stack in weights
+    )
+    # Three frames deep: code staging -> broadcast -> transfer.
+    assert any(stack.count(";") >= 2 for stack in weights)
+
+
+# -- live sampling profiler ------------------------------------------------
+
+def test_sampling_profiler_samples_open_stacks():
+    env = Environment()
+    obs = Observability(env)
+    profiler = SamplingProfiler(obs, period=1.0)
+    assert profiler.install(env) is not None
+
+    def workload():
+        root = obs.tracer.start("run", phase="analysis")
+        child = root.child("inner")
+        yield env.timeout(5.0)
+        child.finish()
+        root.finish()
+
+    env.run(until=env.process(workload()))
+    profiler.stop()
+    profiler.stop()  # idempotent
+    assert profiler.samples >= 4
+    assert math.fsum(profiler.weights.values()) == pytest.approx(
+        profiler.samples * 1.0
+    )
+    (stack,) = profiler.weights
+    assert stack == "analysis;run;inner"
+
+
+def test_sampling_profiler_disabled_is_noop():
+    env = Environment()
+    profiler = SamplingProfiler(NULL_OBS, period=1.0)
+    assert profiler.install(env) is None
+    assert profiler.sample() == 0
+    assert profiler.weights == {}
+    with pytest.raises(ValueError):
+        SamplingProfiler(NULL_OBS, period=0.0)
+
+
+# -- export / rendering ----------------------------------------------------
+
+def test_profile_jsonl_round_trip():
+    weights = {"analysis;run": 12.5, "split": 3.0}
+    assert profile_from_jsonl(profile_to_jsonl(weights)) == weights
+    assert profile_from_jsonl("") == {}
+
+
+def test_folded_lines_format():
+    text = folded_lines({"b;x": 2.0, "a": 1.5})
+    assert text.splitlines() == ["a 1.5", "b;x 2"]
+
+
+def test_render_profile_orders_by_weight():
+    text = render_profile({"a": 1.0, "b;deep": 9.0}, limit=1)
+    lines = text.splitlines()
+    assert lines[0].startswith("stack")
+    assert len(lines) == 2  # header + 1 limited row
+    assert lines[1].startswith("b;deep")
+    assert "#" in lines[1]
+    assert render_profile({}) == "(no profile samples)"

@@ -1,0 +1,64 @@
+"""Merge every ``BENCH_*.json`` gate file into one trajectory document.
+
+Each gated benchmark writes a machine-readable ``BENCH_<name>.json`` next
+to its human-readable table (see ``benchmarks/out/``).  CI uploads those
+per-job, then the ``bench-trajectory`` step runs this script over the
+downloaded artifacts to produce a single ``bench_trajectory.json`` — one
+artifact that tracks every performance gate across the build, so a
+regression hunt never has to stitch job logs together.
+
+Standard library only; usable locally too:
+
+    python benchmarks/merge_trajectory.py \
+        --in benchmarks/out --out bench_trajectory.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def collect(in_dir):
+    """Map bench name -> parsed JSON for every BENCH_*.json under in_dir."""
+    benches = {}
+    for path in sorted(in_dir.rglob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        try:
+            benches[name] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"unreadable bench gate {path}: {exc}")
+    return benches
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--in", dest="in_dir", default="benchmarks/out",
+        help="directory scanned recursively for BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--out", default="bench_trajectory.json",
+        help="merged trajectory file to write",
+    )
+    args = parser.parse_args(argv)
+
+    in_dir = Path(args.in_dir)
+    if not in_dir.is_dir():
+        raise SystemExit(f"not a directory: {in_dir}")
+    benches = collect(in_dir)
+    if not benches:
+        raise SystemExit(f"no BENCH_*.json files under {in_dir}")
+
+    out = Path(args.out)
+    out.write_text(
+        json.dumps({"benches": benches}, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"merged {len(benches)} bench gates -> {out}:")
+    for name in benches:
+        print(f"  {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,7 @@ from repro.grid.security import Credential
 from repro.resilience.faults import ServiceUnavailable
 from repro.resilience.retry import RetryPolicy
 from repro.services.aida_manager import MergeProgress
-from repro.services.envelope import Fault
+from repro.services.envelope import Fault, RetryAfter
 from repro.services.session import SessionInfo, StagedDataset
 
 #: Default backoff for :meth:`IPAClient.reconnect`: ~8 attempts over a few
@@ -63,14 +63,23 @@ class IPAClient:
     credential:
         The user's identity credential (from
         :meth:`~repro.core.site.GridSite.enroll_user`).
+    client_id:
+        Name this client presents to the manager's poll-coalescing
+        layer (per-client sequence cursors).  Defaults to the
+        credential's subject, which is unique per enrolled user.
     """
 
-    def __init__(self, site, credential: Credential) -> None:
+    def __init__(
+        self, site, credential: Credential, client_id: Optional[str] = None
+    ) -> None:
         self.site = site
         self.env = site.env
+        self.client_id = client_id or credential.subject
         self.proxy_plugin = GridProxyPlugin(site.env, credential)
         self.catalog_plugin = DatasetCatalogPlugin(site.container)
-        self.data_plugin = RemoteDataPlugin(site.container)
+        self.data_plugin = RemoteDataPlugin(
+            site.container, client_id=self.client_id
+        )
         self.session: Optional[SessionInfo] = None
         self.staged: Optional[StagedDataset] = None
 
@@ -83,24 +92,54 @@ class IPAClient:
         self,
         n_engines: Optional[int] = None,
         dataset_hint: Optional[str] = None,
+        admission_retry: Optional[RetryPolicy] = None,
     ):
         """Generator op: authenticate and create the session (steps 2-3).
 
         *dataset_hint* names the dataset this session will analyze, so
         engine placement can prefer workers already caching its parts.
+
+        When the site refuses the session with
+        :class:`~repro.services.envelope.RetryAfter` backpressure
+        (admission queue full, service queue full), *admission_retry*
+        controls client back-off: each attempt waits at least the
+        server's ``retry_after`` hint, never less than the policy's own
+        delay.  ``None`` (the default) propagates the refusal to the
+        caller on the first attempt.
         """
-        info: SessionInfo = yield self.site.container.call(
-            "control",
-            "create_session",
-            {
-                "client_chain": self.proxy_plugin.chain,
-                "n_engines": n_engines,
-                "dataset_hint": dataset_hint,
-            },
-        )
-        self.session = info
-        self.data_plugin.bind(info.session_id, info.token)
-        return info
+        attempts = 1 if admission_retry is None else admission_retry.max_attempts
+        last_refusal: Optional[RetryAfter] = None
+        for attempt in range(attempts):
+            try:
+                info: SessionInfo = yield self.site.container.call(
+                    "control",
+                    "create_session",
+                    {
+                        "client_chain": self.proxy_plugin.chain,
+                        "n_engines": n_engines,
+                        "dataset_hint": dataset_hint,
+                    },
+                )
+            except RetryAfter as fault:
+                last_refusal = fault
+                if admission_retry is None or not admission_retry.should_retry(
+                    attempt
+                ):
+                    break
+                # Honor the server's drain estimate, but keep the
+                # policy's exponential floor so a tiny hint cannot
+                # stampede the site.
+                yield self.env.timeout(
+                    max(
+                        fault.retry_after,
+                        admission_retry.delay(attempt, salt=self.client_id),
+                    )
+                )
+                continue
+            self.session = info
+            self.data_plugin.bind(info.session_id, info.token)
+            return info
+        raise last_refusal
 
     def obtain_proxy_and_connect(
         self,

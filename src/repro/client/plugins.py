@@ -68,8 +68,13 @@ class DatasetCatalogPlugin:
 class RemoteDataPlugin:
     """Polls the AIDA manager over the cheap RMI channel (Fig. 2 step 7)."""
 
-    def __init__(self, container: ServiceContainer) -> None:
+    def __init__(
+        self, container: ServiceContainer, client_id: Optional[str] = None
+    ) -> None:
         self.container = container
+        #: Identifies this poller to the manager's coalescing layer so it
+        #: can keep a per-client sequence cursor; ``None`` = anonymous.
+        self.client_id = client_id
         self.token: Optional[str] = None
         self.session_id: Optional[str] = None
 
@@ -82,10 +87,13 @@ class RemoteDataPlugin:
         """Generator op: fetch the merged tree + progress once."""
         if self.session_id is None:
             raise RuntimeError("plugin not bound to a session")
+        args = {"session_id": self.session_id}
+        if self.client_id is not None:
+            args["client_id"] = self.client_id
         tree_dict, progress = yield self.container.call(
             "aida",
             "merged",
-            {"session_id": self.session_id},
+            args,
             channel="rmi",
             token=self.token,
         )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import DEFAULT_CALIBRATION, Calibration
+from repro.grid.admission import AdmissionController
 from repro.grid.gram import GramGatekeeper
 from repro.grid.network import Network
 from repro.grid.nodes import (
@@ -52,9 +53,9 @@ from repro.resilience import (
 from repro.services.aida_manager import AIDAManagerService
 from repro.services.catalog import DatasetCatalogService, DatasetEntry
 from repro.services.codeloader import ManagingClassLoaderService
+from repro.services.container import AsyncServiceContainer, ServiceProfile
 from repro.services.content import ContentStore
 from repro.services.control import ControlService
-from repro.services.envelope import ServiceContainer
 from repro.services.locator import DatasetLocation, LocatorService
 from repro.services.registry import WorkerRegistryService
 from repro.services.session import SessionService
@@ -123,6 +124,36 @@ class SiteConfig:
         Default interactivity SLO installed when observability is on:
         p99 of merged-result poll latency must stay under
         ``slo_poll_p99_s`` over a sliding ``slo_window_s`` window.
+    service_concurrency:
+        Dispatch slots per container service (``None`` = unbounded
+        direct dispatch, the pre-request-loop behaviour).  When set,
+        every registered service gets a bounded request queue drained
+        by this many cooperative loops.
+    service_queue_depth:
+        Bound on each service's request queue (``None`` = unbounded).
+        A full queue refuses new requests with ``RetryAfter``.
+    service_dispatch_overhead_s:
+        Fixed per-request cost charged by a dispatch slot before the
+        handler runs (connection demultiplexing, envelope parsing).
+    poll_coalescing:
+        Merge concurrent ``merged`` polls of one session into a single
+        incremental merge (replies are bit-identical either way).
+    poll_coalesce_window_s:
+        Minimum time a coalescing leader holds the merge open so that
+        near-simultaneous pollers can join it (0 = only exactly
+        concurrent polls coalesce).
+    max_concurrent_engines:
+        Site-wide cap on engines running across all sessions (``None``
+        = no admission control).  When set, session admits go through
+        a per-VO weighted fair-share queue.
+    vo_shares:
+        Relative fair-share weights per VO name (unlisted VOs get 1.0).
+    admission_queue_depth:
+        Admissions each VO may queue while over quota; beyond that the
+        site refuses with ``RetryAfter`` backpressure (0 = never queue).
+    admission_retry_after_s:
+        Base client back-off hint attached to admission refusals
+        (scaled by the backlog actually waiting).
     """
 
     n_workers: int = 16
@@ -145,10 +176,24 @@ class SiteConfig:
     checkpoint_keyframe_every: int = 4
     slo_poll_p99_s: float = 0.25
     slo_window_s: float = 60.0
+    service_concurrency: Optional[int] = None
+    service_queue_depth: Optional[int] = None
+    service_dispatch_overhead_s: float = 0.0
+    poll_coalescing: bool = True
+    poll_coalesce_window_s: float = 0.0
+    max_concurrent_engines: Optional[int] = None
+    vo_shares: Optional[Dict[str, float]] = None
+    admission_queue_depth: int = 0
+    admission_retry_after_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if (
+            self.max_concurrent_engines is not None
+            and self.max_concurrent_engines < 1
+        ):
+            raise ValueError("max_concurrent_engines must be >= 1")
 
 
 class GridSite:
@@ -257,6 +302,8 @@ class GridSite:
             "/O=SLAC/CN=ipa-service", now=0.0
         )
         self.vo = VirtualOrganization("ilc")
+        #: All VOs known at this site, by name (grown by :meth:`add_vo`).
+        self._vos: Dict[str, VirtualOrganization] = {"ilc": self.vo}
         max_engines = (
             config.max_engines_per_session
             if config.max_engines_per_session is not None
@@ -292,7 +339,10 @@ class GridSite:
             ),
             obs=self.obs,
         )
-        self.container = ServiceContainer(
+        # Async container: profiled services get a bounded request queue
+        # drained by cooperative dispatch loops; unprofiled services keep
+        # the original direct-dispatch timing bit for bit.
+        self.container = AsyncServiceContainer(
             env,
             soap_latency=cal.soap_latency_s,
             rmi_latency=cal.rmi_latency_s,
@@ -322,6 +372,8 @@ class GridSite:
             fan_in=config.merge_fan_in,
             obs=self.obs,
             incremental=config.incremental_merge,
+            coalesce=config.poll_coalescing,
+            coalesce_window_s=config.poll_coalesce_window_s,
         )
         self.content_store = ContentStore()
         # Replica catalog + per-worker caches (warm re-staging, §4's
@@ -348,6 +400,20 @@ class GridSite:
         # survives service crashes (minus any unsynced tail).
         self.durable_store = (
             DurableStore() if config.enable_durability else None
+        )
+        # Per-VO fair-share admission: caps engines running site-wide and
+        # queues (or refuses) session admits weighted by VO share.
+        self.admission = (
+            AdmissionController(
+                env,
+                capacity=config.max_concurrent_engines,
+                shares=config.vo_shares,
+                queue_depth=config.admission_queue_depth,
+                retry_after_s=config.admission_retry_after_s,
+                obs=self.obs,
+            )
+            if config.max_concurrent_engines is not None
+            else None
         )
         self.session_service = SessionService(
             env=env,
@@ -384,7 +450,18 @@ class GridSite:
                 else None
             ),
             container=self.container,
+            admission=self.admission,
         )
+        # Bounded per-service request loops (opt-in: the default site has
+        # unbounded direct dispatch, matching the seed's calibration).
+        if config.service_concurrency is not None:
+            profile = ServiceProfile(
+                concurrency=config.service_concurrency,
+                queue_depth=config.service_queue_depth,
+                dispatch_overhead_s=config.service_dispatch_overhead_s,
+            )
+            for service in ("control", "session", "aida"):
+                self.container.configure_service(service, profile)
         # Deterministic fault injection for chaos tests and benchmarks.
         self.injector = FailureInjector(
             env,
@@ -422,6 +499,7 @@ class GridSite:
                 "create_session": self.control.create_session,
                 "close_session": self.control.close_session,
                 "reconnect_session": self.control.reconnect_session,
+                "stats": self.control.stats,
             },
         )
         self.container.register(
@@ -437,15 +515,30 @@ class GridSite:
         self.container.register(
             "aida",
             {
-                "merged": lambda session_id: self.aida.merged(session_id),
+                "merged": lambda session_id, client_id=None: self.aida.merged(
+                    session_id, client_id=client_id
+                ),
                 "snapshot_count": self.aida.snapshot_count,
             },
         )
 
     # -- users ---------------------------------------------------------
-    def enroll_user(self, subject: str, role: str = "member") -> Credential:
-        """Add a VO member and issue their identity credential."""
-        self.vo.add_member(subject, role)
+    def add_vo(self, name: str) -> VirtualOrganization:
+        """Register (and allow) another VO at this site; idempotent."""
+        existing = self._vos.get(name)
+        if existing is not None:
+            return existing
+        vo = VirtualOrganization(name)
+        self._vos[name] = vo
+        self.authz.add_vo(vo)
+        return vo
+
+    def enroll_user(
+        self, subject: str, role: str = "member", vo: Optional[str] = None
+    ) -> Credential:
+        """Add a VO member (default VO: ``ilc``) and issue their credential."""
+        target = self.vo if vo is None else self.add_vo(vo)
+        target.add_member(subject, role)
         return self.ca.issue_identity(subject, now=self.env.now)
 
     # -- datasets ---------------------------------------------------------

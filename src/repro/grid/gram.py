@@ -174,6 +174,9 @@ class GramGatekeeper:
             raise GramUnavailable("gatekeeper temporarily unavailable")
         identity = self.ca.validate_chain(credential_chain, self.env.now)
         policy = self.authz.authorize(identity)
+        # Tag the jobs with the submitter's VO so the scheduler can
+        # dispatch weighted-fair between VOs sharing a queue tier.
+        vo = self.authz.vo_of(identity)
         if description.count > policy.max_engines_per_session:
             raise GramError(
                 f"requested {description.count} engines but site policy "
@@ -191,6 +194,7 @@ class GramGatekeeper:
                 queue=queue,
                 body=self._with_auth_overhead(body_factory(index)),
                 preferred=list(preferred) if preferred else None,
+                vo=vo,
             )
             for index in range(description.count)
         ]

@@ -91,6 +91,7 @@ class Job:
         body: Callable[[Environment, WorkerNode], Generator],
         env: Environment,
         preferred: Optional[List[str]] = None,
+        vo: Optional[str] = None,
     ) -> None:
         self.id = job_id
         self.name = name
@@ -98,6 +99,9 @@ class Job:
         self.body = body
         #: Worker names to try first (data affinity), best first.
         self.preferred = list(preferred or [])
+        #: Virtual Organization the submitter belongs to (``None`` =
+        #: untagged); drives weighted-fair dispatch within a queue tier.
+        self.vo = vo
         self.state = JobState.PENDING
         self.worker: Optional[WorkerNode] = None
         self.submit_time = env.now
@@ -141,6 +145,11 @@ class BatchScheduler:
         #: schedulable (a hint, not a ban) but chosen only when no
         #: unflagged worker is available.
         self._deprioritized: set = set()
+        #: VO -> fair-share weight (default 1.0); drives the weighted-
+        #: fair rank used within a queue-priority tier.
+        self._vo_weights: Dict[Optional[str], float] = {}
+        #: VO -> jobs dispatched so far (the WFQ virtual-service count).
+        self._vo_served: Dict[Optional[str], int] = {}
         env.process(self._dispatcher())
 
     # -- configuration --------------------------------------------------
@@ -149,6 +158,25 @@ class BatchScheduler:
         if spec.name in self._queues:
             raise SchedulerError(f"queue {spec.name!r} already exists")
         self._queues[spec.name] = spec
+
+    def set_vo_weight(self, vo: str, weight: float) -> None:
+        """Set a VO's fair-share weight for dispatch (default 1.0)."""
+        if weight <= 0:
+            raise SchedulerError("weight must be > 0")
+        self._vo_weights[vo] = weight
+
+    def vo_served(self, vo: Optional[str]) -> int:
+        """Jobs dispatched so far for *vo* (WFQ bookkeeping)."""
+        return self._vo_served.get(vo, 0)
+
+    def _wfq_rank(self, vo: Optional[str]) -> float:
+        """Weighted-fair rank: lower = more underserved.
+
+        With a single VO (or every job untagged) all pending jobs share
+        one rank and dispatch degenerates to the original submission
+        (job-id) order — existing single-tenant behaviour is unchanged.
+        """
+        return self._vo_served.get(vo, 0) / self._vo_weights.get(vo, 1.0)
 
     @property
     def queues(self) -> Dict[str, QueueSpec]:
@@ -162,19 +190,22 @@ class BatchScheduler:
         queue: str,
         body: Callable[[Environment, WorkerNode], Generator],
         preferred: Optional[List[str]] = None,
+        vo: Optional[str] = None,
     ) -> Job:
         """Queue a job; returns the :class:`Job` handle immediately.
 
         *preferred* names workers to place the job on if idle and healthy
         (data-affinity hint from the replica catalog: land the engine
         where its dataset parts are already cached); placement falls back
-        to the first idle worker when none of them is available.
+        to the first idle worker when none of them is available.  *vo*
+        tags the job for weighted-fair dispatch between VOs sharing a
+        queue tier.
         """
         if queue not in self._queues:
             raise SchedulerError(f"unknown queue {queue!r}")
         job = Job(
             next(self._job_seq), name, queue, body, self.env,
-            preferred=preferred,
+            preferred=preferred, vo=vo,
         )
         self._jobs[job.id] = job
         self._pending.append(job)
@@ -279,17 +310,23 @@ class BatchScheduler:
     def _dispatcher(self):
         while True:
             # Dispatch as many jobs as there are idle workers, in
-            # (queue priority, submission order) order.  Each job lands on
-            # its first available preferred worker (data affinity), or the
-            # first idle worker when it has no reachable preference.
+            # (queue priority, weighted-fair VO rank, submission order)
+            # order.  Each job lands on its first available preferred
+            # worker (data affinity), or the first idle worker when it
+            # has no reachable preference.
             while self._pending:
                 healthy = [w for w in self._idle if not w.failed]
                 if not healthy:
                     break
                 job = min(
                     self._pending,
-                    key=lambda j: (self._queues[j.queue].priority, j.id),
+                    key=lambda j: (
+                        self._queues[j.queue].priority,
+                        self._wfq_rank(j.vo),
+                        j.id,
+                    ),
                 )
+                self._vo_served[job.vo] = self._vo_served.get(job.vo, 0) + 1
                 # Straggler hints demote workers without banning them:
                 # both the data-affinity preference list and the
                 # first-idle fallback try unflagged workers first, and a

@@ -304,6 +304,16 @@ class AuthorizationService:
         self._vos = {vo.name: vo for vo in vos}
         self.policy = policy
 
+    def add_vo(self, vo: VirtualOrganization, allowed: bool = True) -> None:
+        """Register another VO; with *allowed*, admit it at this site.
+
+        Multi-tenant sites (fair-share admission, WFQ dispatch) grow
+        their VO set at runtime; re-adding an existing name replaces it.
+        """
+        self._vos[vo.name] = vo
+        if allowed and vo.name not in self.policy.allowed_vos:
+            self.policy.allowed_vos = (*self.policy.allowed_vos, vo.name)
+
     def authorize(self, identity: str) -> SitePolicy:
         """Authorize *identity*; returns the effective site policy.
 

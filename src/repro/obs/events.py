@@ -32,6 +32,8 @@ from typing import Any, Callable, Dict, List, Optional
 EVENT_KINDS = (
     "session_created",
     "session_closed",
+    "session_admitted",
+    "admission_rejected",
     "fault_injected",
     "fault_detected",
     "engine_quarantined",

@@ -72,6 +72,11 @@ class MergeProgress:
     #: True while a failure recovery is re-dispatching orphaned partitions
     #: — results must not be treated as complete during that window.
     recovering: bool = False
+    #: Monotonic merge generation: bumps whenever a merge folded dirty
+    #: data.  Clients compare it against their per-client cursor to tell
+    #: a fresh tree from a redundant re-poll (coalescing keeps replies
+    #: bit-identical; the generation is how cursors stay aligned).
+    merge_generation: int = 0
 
     @property
     def fraction_done(self) -> float:
@@ -113,6 +118,21 @@ class AIDAManagerService:
         False, every poll re-deserializes and re-merges every stored
         snapshot (the seed behaviour) and delta snapshots are refused
         with ``"resync"``.
+    coalesce:
+        When True (default), concurrent polls of the same session share
+        one in-flight merge: the first poll (the *leader*) runs the
+        merge; every poll arriving while it is in flight joins it and is
+        served the leader's result.  Because the leader re-reads dirty
+        state after its latency elapses and the fold order is fixed, the
+        shared tree is bit-identical to what each joiner's own merge
+        would have produced.  Per-client cursors (see ``poll_cursor``)
+        track which merge generation each client last saw.
+    coalesce_window_s:
+        Floor on the leader's in-flight duration: with a window of *w*,
+        polls landing within *w* seconds of the leader join it even when
+        nothing is dirty (latency would otherwise be 0 and leave no
+        window to join).  0 (default) preserves the uncoalesced timing
+        exactly for sequential pollers.
     """
 
     def __init__(
@@ -122,11 +142,15 @@ class AIDAManagerService:
         fan_in: Optional[int] = None,
         obs: Optional[Observability] = None,
         incremental: bool = True,
+        coalesce: bool = True,
+        coalesce_window_s: float = 0.0,
     ) -> None:
         if merge_cost_per_tree < 0:
             raise ValueError("merge_cost_per_tree must be >= 0")
         if fan_in is not None and fan_in < 2:
             raise ValueError("fan_in must be >= 2")
+        if coalesce_window_s < 0:
+            raise ValueError("coalesce_window_s must be >= 0")
         self.env = env
         self.obs = obs or NULL_OBS
         self._snapshot_metric = self.obs.metrics.counter(
@@ -153,9 +177,22 @@ class AIDAManagerService:
             "Dirty engines per incremental merge",
             buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256),
         )
+        self._poll_metric = self.obs.metrics.counter(
+            "aida_polls_total", "Merged-result polls served"
+        )
+        self._coalesced_metric = self.obs.metrics.counter(
+            "aida_polls_coalesced_total",
+            "Polls served by joining another client's in-flight merge",
+        )
+        self._redundant_metric = self.obs.metrics.counter(
+            "aida_polls_redundant_total",
+            "Polls that re-served a generation the client had already seen",
+        )
         self.merge_cost_per_tree = merge_cost_per_tree
         self.fan_in = fan_in
         self.incremental = incremental
+        self.coalesce = coalesce
+        self.coalesce_window_s = coalesce_window_s
         self._snapshots: Dict[str, Dict[str, Snapshot]] = {}
         self._run_ids: Dict[str, int] = {}
         #: Engines banned per session: contributions from a dead engine's
@@ -177,6 +214,14 @@ class AIDAManagerService:
         self._dirty_engines: Dict[str, Set[str]] = {}
         #: Partial merged tree per session (only dirty paths re-folded).
         self._merged: Dict[str, ObjectTree] = {}
+        # -- poll coalescing --
+        #: In-flight merge per session: joiners wait on ``event`` and are
+        #: served the leader's ``(tree_dict, progress)`` result.
+        self._inflight: Dict[str, dict] = {}
+        #: Monotonic merge generation per session (bumps on dirty folds).
+        self._generations: Dict[str, int] = {}
+        #: Per session: client_id -> last merge generation served to it.
+        self._cursors: Dict[str, Dict[str, int]] = {}
         #: True between a service crash and its restart+recovery.
         self._down = False
         #: Closed sessions: late (zombie) submissions must not resurrect
@@ -344,6 +389,9 @@ class AIDAManagerService:
         self._expected.pop(session_id, None)
         self._recovering.pop(session_id, None)
         self._invalidate_session_caches(session_id)
+        self._inflight.pop(session_id, None)
+        self._generations.pop(session_id, None)
+        self._cursors.pop(session_id, None)
         self._dropped.add(session_id)
 
     def mark_dropped(self, session_id: str) -> None:
@@ -366,6 +414,9 @@ class AIDAManagerService:
             "dirty_paths": self._dirty_paths,
             "dirty_engines": self._dirty_engines,
             "merged": self._merged,
+            "inflight": self._inflight,
+            "generations": self._generations,
+            "cursors": self._cursors,
         }
         return sorted(name for name, m in maps.items() if session_id in m)
 
@@ -381,6 +432,9 @@ class AIDAManagerService:
         self._dirty_paths.clear()
         self._dirty_engines.clear()
         self._merged.clear()
+        self._inflight.clear()
+        self._generations.clear()
+        self._cursors.clear()
         self._dropped.clear()
         self._down = True
 
@@ -516,69 +570,152 @@ class AIDAManagerService:
         dirty.clear()
         return cache
 
-    def merged(self, session_id: str) -> Process:
+    def merged(self, session_id: str, client_id: Optional[str] = None) -> Process:
         """Merge the latest snapshots; value is ``(tree_dict, progress)``.
 
         Charges the merge latency on the simulated clock, then performs
         the exact merge (only re-folding dirty paths in incremental mode).
+
+        With coalescing on, a poll arriving while another poll's merge is
+        in flight *joins* it instead of merging again: it waits for the
+        leader's completion and is served the same ``(tree_dict,
+        progress)`` — bit-identical to what its own merge would have
+        produced, because the leader folds the freshest dirty state in
+        the fixed sorted-engine order.  *client_id* (optional) keys the
+        per-client sequence cursor, so redundant re-polls are observable
+        via :meth:`poll_cursor` and the ``aida_polls_redundant_total``
+        counter.
         """
         if self._down:
             raise ServiceUnavailable("AIDA manager is down")
+        self._poll_metric.inc()
+        entry = self._inflight.get(session_id) if self.coalesce else None
+        if entry is not None:
+            return self._join_merge(session_id, client_id, entry)
         span = self.obs.tracer.child("aida.merge", session=session_id)
+        if self.coalesce:
+            entry = {"event": self.env.event(), "waiters": 0}
+            self._inflight[session_id] = entry
 
         def run():
-            session = dict(self._snapshots.get(session_id, {}))
-            n_total = len(session)
-            if self.incremental:
-                n_dirty = len(self._dirty_engines.get(session_id, ()))
-                latency = self.merge_latency_incremental(n_dirty, n_total)
-            else:
-                n_dirty = n_total
-                latency = self.merge_latency(n_total)
-            span.set(n_trees=n_total, n_dirty=n_dirty)
-            if latency:
-                yield self.env.timeout(latency)
-            self._merge_metric.observe(latency)
-            if self.incremental:
-                # Submissions may have landed while the latency elapsed;
-                # fold whatever is dirty *now* so the served tree matches
-                # the freshest snapshots.
+            try:
                 session = dict(self._snapshots.get(session_id, {}))
                 n_total = len(session)
-                dirty_engines = self._dirty_engines.get(session_id)
-                n_dirty = len(dirty_engines) if dirty_engines else 0
-                self._cache_hit_metric.inc(max(0, n_total - n_dirty))
-                self._cache_miss_metric.inc(n_dirty)
-                self._dirty_engines_metric.observe(n_dirty)
-                merged_tree = self._recompute_merged(session_id)
-                if dirty_engines:
-                    dirty_engines.clear()
-            else:
-                merged_tree = ObjectTree()
-                for snapshot in sorted(
-                    session.values(), key=lambda s: s.engine_id
-                ):
-                    merged_tree.merge_from(ObjectTree.from_dict(snapshot.tree))
-            progress = MergeProgress(
-                session_id=session_id,
-                engines_reporting=len(session),
-                events_processed=sum(
-                    s.events_processed for s in session.values()
-                ),
-                total_events=sum(s.total_events for s in session.values()),
-                final_engines=sum(1 for s in session.values() if s.final),
-                run_id=self._run_ids.get(session_id, 0),
-                analysis_versions=sorted(
-                    {s.analysis_version for s in session.values()}
-                ),
-                merged_at=self.env.now,
-                expected_engines=self._expected.get(session_id),
-                recovering=self._recovering.get(session_id, False),
-            )
-            self.merge_log.append((session_id, len(session), latency))
-            return merged_tree.to_dict(), progress
+                if self.incremental:
+                    n_dirty = len(self._dirty_engines.get(session_id, ()))
+                    latency = self.merge_latency_incremental(n_dirty, n_total)
+                else:
+                    n_dirty = n_total
+                    latency = self.merge_latency(n_total)
+                span.set(n_trees=n_total, n_dirty=n_dirty)
+                if entry is not None:
+                    # Keep the merge joinable for at least the coalesce
+                    # window, even when nothing is dirty yet.
+                    latency = max(latency, self.coalesce_window_s)
+                if latency:
+                    yield self.env.timeout(latency)
+                self._merge_metric.observe(latency)
+                if self.incremental:
+                    # Submissions may have landed while the latency elapsed;
+                    # fold whatever is dirty *now* so the served tree matches
+                    # the freshest snapshots.
+                    session = dict(self._snapshots.get(session_id, {}))
+                    n_total = len(session)
+                    dirty_engines = self._dirty_engines.get(session_id)
+                    n_dirty = len(dirty_engines) if dirty_engines else 0
+                    self._cache_hit_metric.inc(max(0, n_total - n_dirty))
+                    self._cache_miss_metric.inc(n_dirty)
+                    self._dirty_engines_metric.observe(n_dirty)
+                    merged_tree = self._recompute_merged(session_id)
+                    if dirty_engines:
+                        dirty_engines.clear()
+                else:
+                    merged_tree = ObjectTree()
+                    for snapshot in sorted(
+                        session.values(), key=lambda s: s.engine_id
+                    ):
+                        merged_tree.merge_from(
+                            ObjectTree.from_dict(snapshot.tree)
+                        )
+                generation = self._generations.get(session_id, 0)
+                if n_dirty:
+                    generation += 1
+                    if session_id not in self._dropped:
+                        # A zombie merge finishing after close must not
+                        # resurrect the maps drop_session released.
+                        self._generations[session_id] = generation
+                progress = MergeProgress(
+                    session_id=session_id,
+                    engines_reporting=len(session),
+                    events_processed=sum(
+                        s.events_processed for s in session.values()
+                    ),
+                    total_events=sum(s.total_events for s in session.values()),
+                    final_engines=sum(1 for s in session.values() if s.final),
+                    run_id=self._run_ids.get(session_id, 0),
+                    analysis_versions=sorted(
+                        {s.analysis_version for s in session.values()}
+                    ),
+                    merged_at=self.env.now,
+                    expected_engines=self._expected.get(session_id),
+                    recovering=self._recovering.get(session_id, False),
+                    merge_generation=generation,
+                )
+                self.merge_log.append((session_id, len(session), latency))
+                result = (merged_tree.to_dict(), progress)
+            except BaseException as exc:
+                if entry is not None:
+                    if self._inflight.get(session_id) is entry:
+                        del self._inflight[session_id]
+                    if entry["waiters"] and not entry["event"].triggered:
+                        entry["event"].fail(exc)
+                raise
+            self._note_served(session_id, client_id, generation)
+            if entry is not None:
+                if self._inflight.get(session_id) is entry:
+                    del self._inflight[session_id]
+                if entry["waiters"] and not entry["event"].triggered:
+                    entry["event"].succeed((result, generation))
+                span.set(coalesced_waiters=entry["waiters"])
+            return result
 
         return self.env.process(self.obs.tracer.wrap(span, run()))
+
+    def _join_merge(
+        self, session_id: str, client_id: Optional[str], entry: dict
+    ) -> Process:
+        """Serve a poll from another poll's in-flight merge."""
+        entry["waiters"] += 1
+        self._coalesced_metric.inc()
+        span = self.obs.tracer.child("aida.merge.join", session=session_id)
+
+        def join():
+            result, generation = yield entry["event"]
+            self._note_served(session_id, client_id, generation)
+            return result
+
+        return self.env.process(self.obs.tracer.wrap(span, join()))
+
+    def _note_served(
+        self, session_id: str, client_id: Optional[str], generation: int
+    ) -> None:
+        """Advance the client's sequence cursor; count redundant polls."""
+        if client_id is None or session_id in self._dropped:
+            return
+        cursors = self._cursors.setdefault(session_id, {})
+        if cursors.get(client_id) == generation:
+            self._redundant_metric.inc()
+        cursors[client_id] = generation
+
+    def poll_cursor(
+        self, session_id: str, client_id: str
+    ) -> Optional[int]:
+        """Last merge generation served to *client_id* (``None`` = never)."""
+        return self._cursors.get(session_id, {}).get(client_id)
+
+    def merge_generation(self, session_id: str) -> int:
+        """Current merge generation of the session (0 = nothing folded)."""
+        return self._generations.get(session_id, 0)
 
     def snapshot_count(self, session_id: str) -> int:
         """Engines with at least one stored snapshot."""

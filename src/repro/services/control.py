@@ -98,6 +98,23 @@ class ControlService:
             self.container.revoke_token(token)
         return result
 
+    def stats(self) -> dict:
+        """Site load snapshot: container queues + admission occupancy.
+
+        Plain operation for operators and back-pressure-aware clients:
+        what each service queue looks like right now, and (when the site
+        runs admission control) how the engine slots are spread across
+        VOs.
+        """
+        out: dict = {"services": {}, "admission": None}
+        stats = getattr(self.container, "stats", None)
+        if stats is not None:
+            out["services"] = stats()
+        admission = self.session_service.admission
+        if admission is not None:
+            out["admission"] = admission.stats()
+        return out
+
     def reconnect_session(
         self, client_chain: List[Certificate], session_id: str
     ) -> SessionInfo:

@@ -38,6 +38,21 @@ class Fault(Exception):
     """An application-level fault returned by a service operation."""
 
 
+class RetryAfter(Fault):
+    """Backpressure fault: the request was refused, retry later.
+
+    Raised by the async container when a service's bounded request queue
+    is full, and by the admission controller when a VO is over quota with
+    no queue room left.  ``retry_after`` is the server's hint (simulated
+    seconds) for when a retry is likely to be accepted — the moral
+    equivalent of an HTTP 503 ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 @dataclass(frozen=True)
 class Envelope:
     """One request as it travels to a service."""
@@ -205,6 +220,17 @@ class ServiceContainer:
                 )
         raise last_fault
 
+    def _admit(self, envelope: Envelope, span) -> Optional[Any]:
+        """Admission hook run after routing, before the handler.
+
+        The base container admits every request immediately (returns
+        ``None``).  :class:`~repro.services.container.AsyncServiceContainer`
+        returns a generator here that queues the request behind the
+        service's dispatch slots — or raises :class:`RetryAfter` when the
+        bounded queue is full.
+        """
+        return None
+
     def _dispatch(self, envelope: Envelope):
         tracer = self.obs.tracer
         metrics = self.obs.metrics
@@ -244,6 +270,11 @@ class ServiceContainer:
                     else:
                         injected[1] = remaining - 1
                 raise error
+            gate = self._admit(envelope, span)
+            if gate is not None:
+                # Subclass hook (the async container): wait for a dispatch
+                # slot, or refuse with RetryAfter under backpressure.
+                yield from gate
 
             # The span is current while the handler runs synchronously (so
             # Process-returning operations can pick up the trace context)

@@ -109,6 +109,14 @@ class WorkerRegistryService:
         """Number of ready engines for the session."""
         return len(self._engines.get(session_id, {}))
 
+    def sessions(self) -> List[str]:
+        """Session ids that currently have at least one registered engine.
+
+        Concurrency diagnostics: how many sessions the site is actually
+        serving engines for right now (sorted for determinism).
+        """
+        return sorted(s for s, engines in self._engines.items() if engines)
+
     def wait_for(self, session_id: str, count: int) -> Event:
         """Event that fires once *count* engines are registered.
 

@@ -65,6 +65,7 @@ from repro.aida.codec import payload_nbytes
 from repro.engine.controls import Command
 from repro.engine.engine import AnalysisEngine, Snapshot
 from repro.engine.sandbox import CodeBundle
+from repro.grid.admission import AdmissionController
 from repro.grid.gram import GramGatekeeper, GramSubmission, JobDescription
 from repro.grid.nodes import StorageElement, WorkerNode
 from repro.grid.scheduler import JobState
@@ -486,6 +487,7 @@ class SessionService:
         replicas: Optional["ReplicaManager"] = None,
         durability: Optional[DurabilityConfig] = None,
         container=None,
+        admission: Optional[AdmissionController] = None,
     ) -> None:
         self.env = env
         self.obs = obs or NULL_OBS
@@ -510,6 +512,9 @@ class SessionService:
         #: Service container for token revocation on crash / reissue on
         #: recovery (``None`` in bare-service unit tests).
         self.container = container
+        #: Per-VO fair-share admission control over engine slots
+        #: (``None`` = admit everything, the original behaviour).
+        self.admission = admission
         self._session_lifetime = session_lifetime
         self.resources = ResourceHome(env, "session", session_lifetime)
         self._sessions: Dict[str, dict] = {}
@@ -650,6 +655,33 @@ class SessionService:
                 f"{total_workers} workers"
             )
 
+        admitted: Optional[Tuple[str, int]] = None
+        if self.admission is not None:
+            # Per-VO fair-share gate: waits within the VO's quota, or
+            # raises RetryAfter (backpressure) when the queue is full.
+            vo = self.gram.authz.vo_of(context.identity) or context.identity
+            yield from self.admission.acquire(vo, count)
+            admitted = (vo, count)
+        try:
+            info = yield from self._start_session(
+                context, credential_chain, count, dataset_hint, admitted
+            )
+        except BaseException:
+            # The session never came up; nothing holds the slots.
+            if admitted is not None:
+                self.admission.release(*admitted)
+            raise
+        return info
+
+    def _start_session(
+        self,
+        context: SecurityContext,
+        credential_chain: List[Certificate],
+        count: int,
+        dataset_hint: Optional[str],
+        admitted: Optional[Tuple[str, int]],
+    ):
+        """Start engines and build the session record (post-admission)."""
         ref = self.resources.create(
             {"owner": context.identity, "state": "starting", "engines": count}
         )
@@ -705,6 +737,8 @@ class SessionService:
             "recoveries": [],
             "redispatches": [],
             "token": token,
+            #: (vo, slots) held at the admission controller, if any.
+            "admission": admitted,
             "dataset": None,
             "running": False,
             "closing": False,
@@ -1723,6 +1757,11 @@ class SessionService:
         self.resources.set_property(session["ref"], "state", "closed")
         self.resources.destroy(session["ref"])
         session["closed"] = True
+        if self.admission is not None and session.get("admission"):
+            # Return the VO's engine slots; queued admissions are served
+            # weighted-fair off this release.
+            self.admission.release(*session["admission"])
+            session["admission"] = None
         # Lift any straggler hints the session left on the scheduler and
         # drop its anomaly series.
         for worker in sorted(set(session["straggler_hints"].values())):
@@ -2015,6 +2054,17 @@ class SessionService:
             "recoveries": [],
             "redispatches": [],
             "token": model.token,
+            # The crashed service never released the VO's engine slots, so
+            # a recovered session still holds them: record the grant (do
+            # NOT re-acquire) so close() returns the slots.
+            "admission": (
+                (
+                    self.gram.authz.vo_of(model.owner) or model.owner,
+                    model.n_engines,
+                )
+                if self.admission is not None
+                else None
+            ),
             "dataset": dataset,
             "running": model.running,
             "closing": model.closing,

@@ -9,6 +9,7 @@ event 0 — histogram bin counts are sums of unit weights, so the union is
 exact regardless of which engine processed which part.
 """
 
+import os
 import random
 
 import numpy as np
@@ -25,7 +26,9 @@ pytestmark = [pytest.mark.slow, pytest.mark.chaos]
 N_WORKERS = 16
 N_EVENTS = 16_000  # 1000 events/part -> 2 chunks/part: partial snapshots exist
 SIZE_MB = 480.0
-CHAOS_SEED = 1234
+#: Which workers die is seeded; the nightly chaos matrix sweeps the seed
+#: via the environment while local runs stay reproducible at 1234.
+CHAOS_SEED = int(os.environ.get("CHAOS_SEED", "1234"))
 
 
 def build_site():

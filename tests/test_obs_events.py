@@ -147,6 +147,8 @@ def test_event_vocabulary_is_pinned():
     assert EVENT_KINDS == (
         "session_created",
         "session_closed",
+        "session_admitted",
+        "admission_rejected",
         "fault_injected",
         "fault_detected",
         "engine_quarantined",

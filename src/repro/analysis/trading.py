@@ -33,6 +33,26 @@ from repro.dataset.events import EventBatch
 from repro.engine.base import Analysis
 
 
+def _segment_sums(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Per-day sums of *values* over ``offsets`` segments, vectorized.
+
+    ``np.add.reduceat`` quirks handled here: an empty segment returns
+    ``values[start]`` instead of 0 (masked out via *counts*), and a
+    trailing empty segment's start may equal ``len(values)`` — padding
+    one zero keeps every index valid without disturbing the neighbouring
+    segment boundaries (clamping would).
+    """
+    values = values.astype(float, copy=False)
+    if values.size == 0 or counts.size == 0:
+        return np.zeros(counts.shape, dtype=float)
+    if starts[-1] >= values.size:
+        values = np.concatenate([values, np.zeros(1)])
+    sums = np.add.reduceat(values, starts)
+    return np.where(counts > 0, sums, 0.0)
+
+
 def generate_trading_days(
     n_days: int,
     trades_per_day: int = 50,
@@ -119,36 +139,41 @@ class TradingRecordsAnalysis(Analysis):
         self._last_vwap = None
 
     def process_batch(self, batch: EventBatch, tree: ObjectTree) -> None:
-        """Vectorized per-day aggregation of one chunk of days."""
+        """Vectorized per-day aggregation of one chunk of days.
+
+        All per-day reductions run as ``np.add.reduceat`` segment sums
+        over ``offsets`` — no Python loop over days.
+        """
         if len(batch) == 0:
             return
-        starts = batch.offsets[:-1].astype(int)
-        stops = batch.offsets[1:].astype(int)
-        vwaps = np.empty(len(batch))
-        volumes = np.empty(len(batch))
-        imbalance = np.empty(len(batch))
-        for i, (lo, hi) in enumerate(zip(starts, stops)):
-            price = batch.e[lo:hi]
-            volume = batch.px[lo:hi]
-            side = batch.pdg[lo:hi]
-            total = volume.sum()
-            volumes[i] = total
-            vwaps[i] = float(np.dot(price, volume) / total) if total else np.nan
-            signed = float(np.dot(side, volume))
-            imbalance[i] = signed / total if total else 0.0
+        starts = batch.offsets[:-1].astype(np.int64)
+        counts = batch.offsets[1:].astype(np.int64) - starts
+        n_days = len(batch)
+        volumes = _segment_sums(batch.px, starts, counts)
+        notionals = _segment_sums(batch.e * batch.px, starts, counts)
+        signed = _segment_sums(batch.pdg * batch.px, starts, counts)
+        traded = volumes > 0
+        vwaps = np.full(n_days, np.nan)
+        np.divide(notionals, volumes, out=vwaps, where=traded)
+        imbalance = np.zeros(n_days)
+        np.divide(signed, volumes, out=imbalance, where=traded)
         tree.get("/trading/vwap_by_day").fill_array(
             batch.event_ids.astype(float), vwaps
         )
         tree.get("/trading/daily_volume").fill_array(volumes)
         tree.get("/trading/imbalance").fill_array(imbalance)
 
-        returns_hist = tree.get("/trading/daily_return")
-        previous = self._last_vwap
-        for vwap in vwaps:
-            if previous is not None and np.isfinite(vwap) and previous > 0:
-                returns_hist.fill(vwap / previous - 1.0)
-            previous = float(vwap)
-        self._last_vwap = previous
+        # Close-to-close returns: each day's VWAP against the previous
+        # day's, carrying the last VWAP across batch boundaries.  A
+        # no-trade (NaN) day yields no return and breaks the chain for
+        # the following day, exactly as the sequential fold did.
+        last = np.nan if self._last_vwap is None else self._last_vwap
+        previous = np.concatenate(([last], vwaps[:-1]))
+        valid = np.isfinite(vwaps) & (previous > 0)
+        tree.get("/trading/daily_return").fill_array(
+            vwaps[valid] / previous[valid] - 1.0
+        )
+        self._last_vwap = float(vwaps[-1])
 
 
 #: Stageable source form (sandbox-compatible).
@@ -167,15 +192,24 @@ class StagedTradingAnalysis(Analysis):
     def process_batch(self, batch, tree):
         if len(batch) == 0:
             return
-        starts = batch.offsets[:-1].astype(int)
-        stops = batch.offsets[1:].astype(int)
-        for i, (lo, hi) in enumerate(zip(starts, stops)):
-            price = batch.e[lo:hi]
-            volume = batch.px[lo:hi]
-            total = volume.sum()
-            if total > 0:
-                vwap = float(np.dot(price, volume) / total)
-                tree.get("/trading/vwap_by_day").fill(
-                    float(batch.event_ids[i]), vwap)
-            tree.get("/trading/daily_volume").fill(float(total))
+        starts = batch.offsets[:-1].astype(np.int64)
+        counts = batch.offsets[1:].astype(np.int64) - starts
+
+        def segment_sums(values):
+            values = values.astype(float, copy=False)
+            if values.size == 0 or counts.size == 0:
+                return np.zeros(counts.shape, dtype=float)
+            if starts[-1] >= values.size:
+                values = np.concatenate([values, np.zeros(1)])
+            sums = np.add.reduceat(values, starts)
+            return np.where(counts > 0, sums, 0.0)
+
+        volumes = segment_sums(batch.px)
+        notionals = segment_sums(batch.e * batch.px)
+        traded = volumes > 0
+        vwaps = np.full(len(batch), np.nan)
+        np.divide(notionals, volumes, out=vwaps, where=traded)
+        tree.get("/trading/vwap_by_day").fill_array(
+            batch.event_ids[traded].astype(float), vwaps[traded])
+        tree.get("/trading/daily_volume").fill_array(volumes)
 '''

@@ -50,6 +50,10 @@ class Snapshot:
         number of the previously published snapshot the delta applies on
         top of.  A merger whose cached sequence differs detects the gap
         and requests a full resend.
+    combiner:
+        Id of the leaf combiner this snapshot is routed through when the
+        session has a tiered merge (``None`` = published straight to the
+        flat root merge).  Stamped by the publish path, not the engine.
     """
 
     engine_id: str
@@ -61,6 +65,7 @@ class Snapshot:
     tree: dict
     final: bool = False
     base_sequence: int = 0
+    combiner: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,9 @@ EVENT_KINDS = (
     "checkpoint_committed",
     "service_crash",
     "service_recovered",
+    "tier_configured",
+    "combiner_crash",
+    "combiner_retired",
     "slo_breach",
     "slo_recovered",
     "straggler_detected",

@@ -41,7 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only
 FAULT_KINDS = ("crash", "hang", "slow", "link-down")
 
 #: Recognised service-level fault kinds (manager-node process faults).
-SERVICE_FAULT_KINDS = ("service-crash", "service-restart", "checkpoint-torn")
+#: ``combiner-crash`` kills one merge-tier sub-merger (its volatile
+#: partial state is lost; affected engines are asked to resync).
+SERVICE_FAULT_KINDS = (
+    "service-crash",
+    "service-restart",
+    "checkpoint-torn",
+    "combiner-crash",
+)
 
 
 class ServiceUnavailable(Exception):
@@ -232,6 +239,30 @@ class FailureInjector:
         worker = self.scheduler.element.worker(name)
         worker.slow_factor = factor
         self._record("slow", name, factor=factor)
+
+    def crash_combiner(self, session_id: str, combiner_id: str):
+        """Kill one merge-tier combiner node (generator process).
+
+        The combiner's volatile caches are lost at the AIDA manager; the
+        affected paths re-fold without the lost contributions and every
+        affected *live* engine is directed to republish a full keyframe
+        (finished engines would otherwise never resend — see
+        ``SessionService.resync_engines``).  Returns the affected engine
+        ids.
+        """
+        if self.session_service is None:
+            raise ValueError("injector built without a session_service")
+        affected = self.session_service.aida.crash_combiner(
+            session_id, combiner_id
+        )
+        self._record(
+            "combiner-crash",
+            combiner_id,
+            session=session_id,
+            engines=len(affected),
+        )
+        yield from self.session_service.resync_engines(session_id, affected)
+        return affected
 
     def cut_links(self, name: str) -> List[str]:
         """Take down every network link of worker *name*.

@@ -6,11 +6,16 @@ a special manager service called the AIDA manager service.  A separate
 plug-in on the JAS client constantly polls the AIDA manager" (§3.7).
 
 Scalability (§2.5): with many engines the flat merge at one node becomes a
-bottleneck; the service therefore supports a configurable **fan-in**: with
-fan-in *f*, snapshots are merged through a tree of sub-mergers of degree
-*f* whose levels work in parallel, so merge latency grows like
-``f * ceil(log_f k)`` instead of ``k``.  ``bench_merge_tree.py`` ablates
-this.
+bottleneck; the paper prescribes "a sub-level of components that performs
+the merging".  With ``fan_in=f`` the manager builds that sub-level for
+real (see :mod:`repro.services.combiner`): engines are routed to leaf
+**combiner** nodes of degree *f* which maintain their own incremental
+partial trees and republish combined deltas upward, level by level, to
+the root.  A poll re-folds only the dirty combiner subtrees; within one
+level the combiners fold concurrently on the simulated clock, so
+per-poll merge cost scales like ``f * ceil(log_f dirty)`` instead of
+``dirty``.  ``bench_merge_tree.py`` measures this at 4-1024 engines and
+checks the served tree stays exactly equal to the flat merge.
 
 On top of the fan-in model, the manager merges **incrementally** (the
 default): it keeps a deserialized tree per engine keyed by the engine's
@@ -46,6 +51,7 @@ from repro.aida.tree import ObjectTree
 from repro.engine.engine import Snapshot
 from repro.obs import NULL_OBS, Observability
 from repro.resilience.faults import ServiceUnavailable
+from repro.services.combiner import MergeTree, plan_groups
 from repro.sim import Environment, Process
 
 
@@ -110,8 +116,14 @@ class AIDAManagerService:
     merge_cost_per_tree:
         Seconds to merge one snapshot tree into an accumulator.
     fan_in:
-        Sub-merger tree degree; ``None`` = flat single-node merge (§2.5's
-        bottleneck case).
+        Combiner tree degree; ``None`` = flat single-node merge (§2.5's
+        bottleneck case).  With a fan-in and incremental merging on, the
+        session layer wires a real combiner tier via
+        :meth:`configure_tier` and polls re-fold dirty subtrees only.
+    grouping:
+        Leaf-combiner grouping policy: ``"chunk"`` (contiguous runs of
+        the sorted engine ids — preserves the flat fold order exactly)
+        or ``"worker"`` (cluster engines sharing a worker first).
     incremental:
         When True (default), cache deserialized per-engine trees, accept
         delta snapshots, and re-merge only dirty paths per poll.  When
@@ -144,6 +156,7 @@ class AIDAManagerService:
         incremental: bool = True,
         coalesce: bool = True,
         coalesce_window_s: float = 0.0,
+        grouping: str = "chunk",
     ) -> None:
         if merge_cost_per_tree < 0:
             raise ValueError("merge_cost_per_tree must be >= 0")
@@ -151,6 +164,8 @@ class AIDAManagerService:
             raise ValueError("fan_in must be >= 2")
         if coalesce_window_s < 0:
             raise ValueError("coalesce_window_s must be >= 0")
+        if grouping not in ("chunk", "worker"):
+            raise ValueError(f"unknown grouping policy {grouping!r}")
         self.env = env
         self.obs = obs or NULL_OBS
         self._snapshot_metric = self.obs.metrics.counter(
@@ -188,8 +203,26 @@ class AIDAManagerService:
             "aida_polls_redundant_total",
             "Polls that re-served a generation the client had already seen",
         )
+        self._tier_depth_metric = self.obs.metrics.gauge(
+            "aida_tier_depth",
+            "Combiner tier depth per session (levels, 0 = flat)",
+        )
+        self._combiner_folds_metric = self.obs.metrics.histogram(
+            "aida_combiner_folds",
+            "Max concurrent folds per combiner level per poll",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+        )
+        self._combiner_crash_metric = self.obs.metrics.counter(
+            "aida_combiner_crashes_total",
+            "Combiner nodes crashed (volatile partial state lost)",
+        )
+        self._combiner_retired_metric = self.obs.metrics.counter(
+            "aida_combiner_retired_total",
+            "Leaf combiners retired with engines re-parented",
+        )
         self.merge_cost_per_tree = merge_cost_per_tree
         self.fan_in = fan_in
+        self.grouping = grouping
         self.incremental = incremental
         self.coalesce = coalesce
         self.coalesce_window_s = coalesce_window_s
@@ -214,6 +247,9 @@ class AIDAManagerService:
         self._dirty_engines: Dict[str, Set[str]] = {}
         #: Partial merged tree per session (only dirty paths re-folded).
         self._merged: Dict[str, ObjectTree] = {}
+        #: Combiner tier per session (only with ``fan_in`` + incremental);
+        #: when present it replaces the flat caches above for that session.
+        self._tiers: Dict[str, MergeTree] = {}
         # -- poll coalescing --
         #: In-flight merge per session: joiners wait on ``event`` and are
         #: served the leader's ``(tree_dict, progress)`` result.
@@ -283,12 +319,115 @@ class AIDAManagerService:
         )
         return "accepted"
 
+    # -- combiner tier ------------------------------------------------------
+    def configure_tier(
+        self,
+        session_id: str,
+        engine_ids,
+        workers: Optional[Dict[str, str]] = None,
+    ) -> Optional[MergeTree]:
+        """Build the session's combiner tier (no-op without a fan-in).
+
+        Called by the session layer once engine membership is known;
+        idempotent (an existing tier is kept — late calls after spares
+        join must not rebuild the topology under in-flight deltas).  Any
+        state already ingested through the flat caches migrates into the
+        tier, marked dirty so the next poll re-folds it.
+        """
+        if not self.incremental or self.fan_in is None:
+            return None
+        if self._down or session_id in self._dropped:
+            return None
+        tier = self._tiers.get(session_id)
+        if tier is not None:
+            return tier
+        ids = sorted(set(engine_ids))
+        if not ids:
+            return None
+        groups = plan_groups(ids, self.fan_in, self.grouping, workers)
+        tier = MergeTree(session_id, self.fan_in, groups)
+        self._tiers[session_id] = tier
+        for engine_id, (seq, tree) in self._engine_trees.pop(
+            session_id, {}
+        ).items():
+            tier.restore_engine(engine_id, seq, tree)
+        self._dirty_paths.pop(session_id, None)
+        dirty = self._dirty_engines.pop(session_id, None)
+        if dirty:
+            tier.dirty_engines.update(dirty)
+        self._merged.pop(session_id, None)
+        self._tier_depth_metric.set(tier.depth, session=session_id)
+        self.obs.events.emit(
+            "tier_configured",
+            message=(
+                f"{session_id}: {tier.n_combiners} combiners over "
+                f"{len(ids)} engines, depth {tier.depth}"
+            ),
+            session=session_id,
+            engines=len(ids),
+            combiners=tier.n_combiners,
+            depth=tier.depth,
+            fan_in=self.fan_in,
+            grouping=self.grouping,
+        )
+        return tier
+
+    def tier(self, session_id: str) -> Optional[MergeTree]:
+        """The session's combiner tier, if one is configured."""
+        return self._tiers.get(session_id)
+
+    def combiner_of(self, session_id: str, engine_id: str) -> Optional[str]:
+        """Leaf combiner *engine_id* publishes through (None = flat)."""
+        tier = self._tiers.get(session_id)
+        if tier is None:
+            return None
+        return tier.combiner_of(engine_id)
+
+    def crash_combiner(self, session_id: str, combiner_id: str) -> List[str]:
+        """Kill one combiner node; returns the engines needing resync."""
+        tier = self._tiers.get(session_id)
+        if tier is None:
+            raise MergeError(f"session {session_id!r} has no combiner tier")
+        affected = tier.crash_combiner(combiner_id)
+        self._combiner_crash_metric.inc()
+        self.obs.events.emit(
+            "combiner_crash",
+            message=f"{combiner_id} lost; {len(affected)} engines to resync",
+            severity="warning",
+            session=session_id,
+            combiner=combiner_id,
+            engines=len(affected),
+        )
+        return affected
+
+    def retire_combiner(self, session_id: str, combiner_id: str) -> str:
+        """Retire a leaf combiner, re-parenting its engines; returns the
+        absorbing leaf's id."""
+        tier = self._tiers.get(session_id)
+        if tier is None:
+            raise MergeError(f"session {session_id!r} has no combiner tier")
+        target = tier.retire_combiner(combiner_id)
+        self._combiner_retired_metric.inc()
+        self._tier_depth_metric.set(tier.depth, session=session_id)
+        self.obs.events.emit(
+            "combiner_retired",
+            message=f"{combiner_id} retired; engines re-parented to {target}",
+            session=session_id,
+            combiner=combiner_id,
+            target=target,
+        )
+        return target
+
     def _ingest_tree(self, session_id: str, snapshot: Snapshot) -> str:
         """Fold an otherwise-valid snapshot into the per-engine tree cache."""
         if snapshot.base_sequence != 0 and not self.incremental:
             return "resync"  # cannot apply a delta without the cache
         if not self.incremental:
             return "accepted"
+        tier = self._tiers.get(session_id)
+        if tier is not None:
+            # Tiered path: the leaf combiner owns the engine cache.
+            return tier.ingest(snapshot)
         trees = self._engine_trees.setdefault(session_id, {})
         dirty_paths = self._dirty_paths.setdefault(session_id, set())
         dirty_engines = self._dirty_engines.setdefault(session_id, set())
@@ -339,6 +478,11 @@ class AIDAManagerService:
         self._dirty_paths.pop(session_id, None)
         self._dirty_engines.pop(session_id, None)
         self._merged.pop(session_id, None)
+        tier = self._tiers.get(session_id)
+        if tier is not None:
+            # Keep the topology (the engines are the same after a
+            # rewind); drop every cached tree and partial.
+            tier.reset()
 
     # -- failure recovery ---------------------------------------------------
     def discard_engine(self, session_id: str, engine_id: str) -> None:
@@ -362,6 +506,9 @@ class AIDAManagerService:
                 entry[1].paths()
             )
             self._dirty_engines.setdefault(session_id, set()).add(engine_id)
+        tier = self._tiers.get(session_id)
+        if tier is not None:
+            tier.discard_engine(engine_id)
 
     def banned_engines(self, session_id: str) -> set:
         """Engines whose contributions are discarded for this session."""
@@ -389,6 +536,7 @@ class AIDAManagerService:
         self._expected.pop(session_id, None)
         self._recovering.pop(session_id, None)
         self._invalidate_session_caches(session_id)
+        self._tiers.pop(session_id, None)
         self._inflight.pop(session_id, None)
         self._generations.pop(session_id, None)
         self._cursors.pop(session_id, None)
@@ -414,6 +562,7 @@ class AIDAManagerService:
             "dirty_paths": self._dirty_paths,
             "dirty_engines": self._dirty_engines,
             "merged": self._merged,
+            "tiers": self._tiers,
             "inflight": self._inflight,
             "generations": self._generations,
             "cursors": self._cursors,
@@ -432,6 +581,7 @@ class AIDAManagerService:
         self._dirty_paths.clear()
         self._dirty_engines.clear()
         self._merged.clear()
+        self._tiers.clear()
         self._inflight.clear()
         self._generations.clear()
         self._cursors.clear()
@@ -451,9 +601,12 @@ class AIDAManagerService:
         """
         snapshots = self._snapshots.get(session_id, {})
         trees = self._engine_trees.get(session_id, {})
+        tier = self._tiers.get(session_id)
         engines = {}
         for engine_id, snap in snapshots.items():
             cached = trees.get(engine_id)
+            if cached is None and tier is not None:
+                cached = tier.engine_entry(engine_id)
             if cached is not None:
                 tree_dict = cached[1].to_dict()
             else:
@@ -468,12 +621,15 @@ class AIDAManagerService:
                 "final": snap.final,
                 "tree": tree_dict,
             }
-        return {
+        state = {
             "run_id": self._run_ids.get(session_id, 0),
             "expected": self._expected.get(session_id),
             "banned": sorted(self._banned.get(session_id, ())),
             "engines": engines,
         }
+        if tier is not None:
+            state["tier_groups"] = tier.leaf_groups()
+        return state
 
     def restore_state(self, session_id: str, state: dict) -> None:
         """Rebuild the merge cache from a checkpoint's merge state.
@@ -487,6 +643,18 @@ class AIDAManagerService:
             self._expected[session_id] = state["expected"]
         if state.get("banned"):
             self._banned[session_id] = set(state["banned"])
+        tier: Optional[MergeTree] = None
+        if self.incremental and self.fan_in is not None:
+            groups = state.get("tier_groups")
+            if groups is None:
+                groups = plan_groups(
+                    sorted(state.get("engines", {})), self.fan_in, "chunk"
+                )
+            groups = [g for g in groups if g]
+            if groups:
+                tier = MergeTree(session_id, self.fan_in, groups)
+                self._tiers[session_id] = tier
+                self._tier_depth_metric.set(tier.depth, session=session_id)
         snapshots: Dict[str, Snapshot] = {}
         trees: Dict[str, Tuple[int, ObjectTree]] = {}
         dirty_paths: Set[str] = set()
@@ -503,10 +671,13 @@ class AIDAManagerService:
             )
             if self.incremental:
                 tree = ObjectTree.from_dict(entry["tree"])
-                trees[engine_id] = (entry["sequence"], tree)
-                dirty_paths.update(tree.paths())
+                if tier is not None:
+                    tier.restore_engine(engine_id, entry["sequence"], tree)
+                else:
+                    trees[engine_id] = (entry["sequence"], tree)
+                    dirty_paths.update(tree.paths())
         self._snapshots[session_id] = snapshots
-        if self.incremental:
+        if self.incremental and tier is None:
             self._engine_trees[session_id] = trees
             self._dirty_paths[session_id] = dirty_paths
             self._dirty_engines[session_id] = set(trees)
@@ -516,9 +687,10 @@ class AIDAManagerService:
     def merge_latency(self, n_trees: int) -> float:
         """Simulated seconds to merge *n_trees* snapshot trees from scratch.
 
-        Flat: ``cost * n``.  Tree of fan-in *f*: levels run in parallel, so
-        latency is ``cost * f * ceil(log_f n)`` (each level merges groups
-        of *f* concurrently).
+        Flat: ``cost * n``.  Combiner tree of fan-in *f*: the combiners
+        of one level fold concurrently (each folds at most *f* inputs)
+        and the levels run in sequence, so latency is
+        ``cost * f * ceil(log_f n)``.
         """
         if n_trees <= 1:
             return self.merge_cost_per_tree * n_trees
@@ -528,18 +700,32 @@ class AIDAManagerService:
         return self.merge_cost_per_tree * self.fan_in * max(1, levels)
 
     def merge_latency_incremental(self, n_dirty: int, n_total: int) -> float:
-        """Simulated seconds for an incremental merge.
+        """Simulated seconds for an incremental merge (closed-form model).
 
         Only engines whose snapshot advanced since the last poll cost
-        anything (``cost * n_dirty``), capped at the from-scratch
-        :meth:`merge_latency` — re-merging everything incrementally can
-        never be slower than rebuilding from scratch.
+        anything.  Flat (``fan_in=None``): ``cost * n_dirty``.  With a
+        fan-in *f* the model now accounts for the combiner tier: each of
+        the ``ceil(log_f n_total)`` levels folds at most
+        ``min(n_dirty, f)`` dirty inputs per combiner concurrently, so
+        the charge is ``cost * levels * min(n_dirty, f)``.  Either form
+        is capped at the from-scratch :meth:`merge_latency` — an
+        incremental re-merge can never be slower than rebuilding.  (A
+        session with a *live* tier is charged the tier's exact
+        per-level dirty profile instead; this closed form serves the
+        cost-model fallback and the benchmarks.)
         """
         if n_dirty <= 0 or n_total <= 0:
             return 0.0
-        return min(
-            self.merge_cost_per_tree * n_dirty, self.merge_latency(n_total)
-        )
+        if self.fan_in is None:
+            tiered = self.merge_cost_per_tree * n_dirty
+        else:
+            levels = max(1, math.ceil(math.log(max(n_total, 2), self.fan_in)))
+            tiered = (
+                self.merge_cost_per_tree
+                * levels
+                * min(n_dirty, self.fan_in)
+            )
+        return min(tiered, self.merge_latency(n_total))
 
     # -- serving ------------------------------------------------------------
     def _recompute_merged(self, session_id: str) -> ObjectTree:
@@ -602,8 +788,15 @@ class AIDAManagerService:
                 session = dict(self._snapshots.get(session_id, {}))
                 n_total = len(session)
                 if self.incremental:
-                    n_dirty = len(self._dirty_engines.get(session_id, ()))
-                    latency = self.merge_latency_incremental(n_dirty, n_total)
+                    tier = self._tiers.get(session_id)
+                    if tier is not None:
+                        n_dirty = len(tier.dirty_engines)
+                        latency = tier.poll_latency(self.merge_cost_per_tree)
+                    else:
+                        n_dirty = len(self._dirty_engines.get(session_id, ()))
+                        latency = self.merge_latency_incremental(
+                            n_dirty, n_total
+                        )
                 else:
                     n_dirty = n_total
                     latency = self.merge_latency(n_total)
@@ -618,17 +811,29 @@ class AIDAManagerService:
                 if self.incremental:
                     # Submissions may have landed while the latency elapsed;
                     # fold whatever is dirty *now* so the served tree matches
-                    # the freshest snapshots.
+                    # the freshest snapshots.  The tier is re-fetched too: a
+                    # drop/rewind during the sleep must not fold stale state.
                     session = dict(self._snapshots.get(session_id, {}))
                     n_total = len(session)
-                    dirty_engines = self._dirty_engines.get(session_id)
-                    n_dirty = len(dirty_engines) if dirty_engines else 0
-                    self._cache_hit_metric.inc(max(0, n_total - n_dirty))
-                    self._cache_miss_metric.inc(n_dirty)
-                    self._dirty_engines_metric.observe(n_dirty)
-                    merged_tree = self._recompute_merged(session_id)
-                    if dirty_engines:
-                        dirty_engines.clear()
+                    tier = self._tiers.get(session_id)
+                    if tier is not None:
+                        n_dirty = len(tier.dirty_engines)
+                        self._cache_hit_metric.inc(max(0, n_total - n_dirty))
+                        self._cache_miss_metric.inc(n_dirty)
+                        self._dirty_engines_metric.observe(n_dirty)
+                        for level_folds in tier.refold():
+                            self._combiner_folds_metric.observe(level_folds)
+                        merged_tree = tier.root_tree
+                        tier.dirty_engines.clear()
+                    else:
+                        dirty_engines = self._dirty_engines.get(session_id)
+                        n_dirty = len(dirty_engines) if dirty_engines else 0
+                        self._cache_hit_metric.inc(max(0, n_total - n_dirty))
+                        self._cache_miss_metric.inc(n_dirty)
+                        self._dirty_engines_metric.observe(n_dirty)
+                        merged_tree = self._recompute_merged(session_id)
+                        if dirty_engines:
+                            dirty_engines.clear()
                 else:
                     merged_tree = ObjectTree()
                     for snapshot in sorted(

@@ -1,0 +1,479 @@
+"""Tiered sub-merger combiners: the real §2.5 merge tree.
+
+The paper warns that the single merging component "will become a
+bottleneck if there are a large number of users" and prescribes "a
+sub-level of components that performs the merging" (§2.5).  This module
+is that sub-level: a :class:`MergeTree` of :class:`CombinerNode`\\ s of
+degree ``fan_in``.  Engines are routed to *leaf* combiners (grouped by
+contiguous chunks of the sorted engine ids, or by worker locality);
+each combiner keeps an **incremental partial tree** — the same
+delta-snapshot / keyframe / dirty-path machinery the flat manager uses
+— and republishes its *combined* dirty paths upward, so a poll at the
+root re-folds only the dirty combiner subtrees.
+
+Cost model: the combiners of one level run concurrently on the
+simulated clock, so a poll charges ``cost x max(dirty children)`` per
+level and sums over the levels — ``O(f * log_f n)`` when everything is
+dirty instead of the flat ``O(n)``, and ``O(depth)`` when a single
+engine advanced.
+
+Correctness: leaf groups are *contiguous* ranges of the
+lexicographically sorted engine ids and every fold (leaf over its
+engines, combiner over its children) is the same left fold the flat
+manager uses, so the hierarchical fold visits contributions in the
+exact global sorted-engine order.  Histogram addition is
+order-insensitive up to float association; ntuple/cloud merges are
+concatenations, for which the order-preserving grouping makes the
+tiered result *exactly* equal to the flat one (property-tested with
+exactly-representable fills).
+
+Crash semantics: a leaf combiner crash loses its volatile engine
+caches and partial tree — the affected paths are re-folded without the
+lost contributions and the engines' next deltas are answered with
+``"resync"`` (the injector additionally directs them to republish, so
+finished engines heal too).  An *internal* combiner crash only loses
+its partial; it rebuilds from its children's intact partials on the
+next poll.  A retired leaf re-parents its engines onto the adjacent
+leaf, preserving the global fold order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.aida.serial import from_dict as object_from_dict
+from repro.aida.tree import ObjectTree
+from repro.engine.engine import Snapshot
+
+
+class CombinerError(Exception):
+    """Raised on invalid combiner-tier operations."""
+
+
+def plan_groups(
+    engine_ids: Sequence[str],
+    fan_in: int,
+    grouping: str = "chunk",
+    workers: Optional[Dict[str, str]] = None,
+) -> List[List[str]]:
+    """Partition *engine_ids* into leaf-combiner groups of ``<= fan_in``.
+
+    ``"chunk"`` (default) cuts the lexicographically sorted ids into
+    contiguous runs — the grouping that keeps the hierarchical fold in
+    the flat manager's exact association order.  ``"worker"`` clusters
+    engines sharing a worker (rack locality) first, then chunks; it
+    trades exact fold order for placement locality, which is fine for
+    order-insensitive aggregates.
+    """
+    if fan_in < 2:
+        raise CombinerError("fan_in must be >= 2")
+    if grouping not in ("chunk", "worker"):
+        raise CombinerError(f"unknown grouping policy {grouping!r}")
+    ordered = sorted(set(engine_ids))
+    if grouping == "worker" and workers:
+        ordered.sort(key=lambda e: (workers.get(e, ""), e))
+    return [ordered[i : i + fan_in] for i in range(0, len(ordered), fan_in)]
+
+
+class CombinerNode:
+    """One sub-merger: a partial merged tree plus dirty bookkeeping.
+
+    Leaves (``level == 1``) hold per-engine ``(sequence, tree)`` caches;
+    internal nodes hold child combiners.  ``dirty_paths`` are the object
+    paths whose partial value is stale; ``dirty_children`` names the
+    children (engines or combiners) that made them stale — its size is
+    what the level's re-fold costs on the simulated clock.
+    """
+
+    __slots__ = (
+        "combiner_id",
+        "level",
+        "parent",
+        "children",
+        "engines",
+        "partial",
+        "dirty_paths",
+        "dirty_children",
+        "low",
+        "version",
+    )
+
+    def __init__(self, combiner_id: str, level: int, low: str = "") -> None:
+        self.combiner_id = combiner_id
+        self.level = level
+        self.parent: Optional["CombinerNode"] = None
+        self.children: List["CombinerNode"] = []
+        self.engines: Dict[str, Tuple[int, ObjectTree]] = {}
+        self.partial = ObjectTree()
+        self.dirty_paths: Set[str] = set()
+        self.dirty_children: Set[str] = set()
+        #: Smallest engine id this subtree can own (routing key).
+        self.low = low
+        #: Bumps whenever the partial changes (combined-delta sequence).
+        self.version = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 1
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.dirty_paths or self.dirty_children)
+
+    def contributions_in_order(self) -> List[ObjectTree]:
+        """Child trees in fold order (sorted engines, or child order)."""
+        if self.is_leaf:
+            return [self.engines[e][1] for e in sorted(self.engines)]
+        return [child.partial for child in self.children]
+
+    def refold(self) -> Tuple[Set[str], int]:
+        """Re-fold the dirty paths over the children, left to right.
+
+        Returns ``(changed paths, children folded)`` and clears the
+        dirty sets; the changed paths are what this combiner's combined
+        delta to its parent carries.
+        """
+        changed = set(self.dirty_paths)
+        folded = len(self.dirty_children)
+        if changed:
+            ordered = self.contributions_in_order()
+            for path in sorted(changed):
+                contributions = [
+                    tree.get(path) for tree in ordered if tree.exists(path)
+                ]
+                if self.partial.exists(path):
+                    self.partial.remove(path)
+                if contributions:
+                    acc = contributions[0].copy()
+                    for obj in contributions[1:]:
+                        acc += obj
+                    self.partial.put(path, acc)
+            self.version += 1
+        self.dirty_paths.clear()
+        self.dirty_children.clear()
+        return changed, folded
+
+    def reset(self) -> None:
+        """Drop all cached state (rewind), keeping the topology."""
+        self.engines.clear()
+        self.partial = ObjectTree()
+        self.dirty_paths.clear()
+        self.dirty_children.clear()
+        self.version += 1
+
+
+class MergeTree:
+    """The session's combiner tier: leaves over engines, root at the top.
+
+    Built once from the planned leaf *groups*; late engines (spares)
+    are routed to the leaf whose ``low`` key precedes their id, so the
+    global sorted order stays contiguous.
+    """
+
+    def __init__(
+        self, session_id: str, fan_in: int, groups: Sequence[Sequence[str]]
+    ) -> None:
+        if fan_in < 2:
+            raise CombinerError("fan_in must be >= 2")
+        groups = [list(g) for g in groups if g]
+        if not groups:
+            raise CombinerError("merge tree needs at least one engine group")
+        self.session_id = session_id
+        self.fan_in = fan_in
+        #: Engines whose contribution advanced since the last poll.
+        self.dirty_engines: Set[str] = set()
+        self._assignment: Dict[str, CombinerNode] = {}
+        self._by_id: Dict[str, CombinerNode] = {}
+        leaves: List[CombinerNode] = []
+        for index, group in enumerate(groups):
+            leaf = CombinerNode(
+                f"{session_id}/combiner-1.{index}", 1, low=min(group)
+            )
+            leaves.append(leaf)
+            self._by_id[leaf.combiner_id] = leaf
+            for engine_id in group:
+                self._assignment[engine_id] = leaf
+        self.levels: List[List[CombinerNode]] = [leaves]
+        nodes = leaves
+        level = 1
+        while len(nodes) > 1:
+            level += 1
+            parents: List[CombinerNode] = []
+            for index in range(0, len(nodes), fan_in):
+                chunk = nodes[index : index + fan_in]
+                parent = CombinerNode(
+                    f"{session_id}/combiner-{level}.{index // fan_in}",
+                    level,
+                    low=chunk[0].low,
+                )
+                parent.children = list(chunk)
+                for child in chunk:
+                    child.parent = parent
+                parents.append(parent)
+                self._by_id[parent.combiner_id] = parent
+            self.levels.append(parents)
+            nodes = parents
+        self.root = nodes[0]
+        self._rebuild_routing()
+
+    # -- topology -----------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of combiner levels (1 = a single leaf is the root)."""
+        return len(self.levels)
+
+    @property
+    def n_combiners(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    @property
+    def root_tree(self) -> ObjectTree:
+        """The served merged tree (the root combiner's partial)."""
+        return self.root.partial
+
+    def combiner_ids(self) -> List[str]:
+        """All combiner ids, bottom level first."""
+        return [n.combiner_id for level in self.levels for n in level]
+
+    def _rebuild_routing(self) -> None:
+        routes = sorted(
+            ((leaf.low, leaf) for leaf in self.levels[0]), key=lambda r: r[0]
+        )
+        self._route_lows = [low for low, _ in routes]
+        self._route_leaves = [leaf for _, leaf in routes]
+
+    def leaf_for(self, engine_id: str) -> CombinerNode:
+        """The leaf combiner owning *engine_id* (routes unknown ids)."""
+        leaf = self._assignment.get(engine_id)
+        if leaf is None:
+            index = bisect_right(self._route_lows, engine_id) - 1
+            leaf = self._route_leaves[max(index, 0)]
+            self._assignment[engine_id] = leaf
+        return leaf
+
+    def combiner_of(self, engine_id: str) -> str:
+        """Id of the leaf combiner *engine_id* publishes through."""
+        return self.leaf_for(engine_id).combiner_id
+
+    def leaf_groups(self) -> List[List[str]]:
+        """Planned engine membership per leaf, in level order (checkpoint)."""
+        members: Dict[CombinerNode, Set[str]] = {
+            leaf: set(leaf.engines) for leaf in self.levels[0]
+        }
+        for engine_id, leaf in self._assignment.items():
+            members.setdefault(leaf, set()).add(engine_id)
+        return [sorted(members.get(leaf, ())) for leaf in self.levels[0]]
+
+    # -- ingestion ----------------------------------------------------------
+    def ingest(self, snapshot: Snapshot) -> str:
+        """Fold a validated snapshot into its leaf combiner's cache.
+
+        Mirrors the flat manager's keyframe/delta semantics: a keyframe
+        replaces the cached tree and dirties old + new paths; a delta
+        whose base does not match the cached sequence returns
+        ``"resync"``.
+        """
+        leaf = self.leaf_for(snapshot.engine_id)
+        cached = leaf.engines.get(snapshot.engine_id)
+        if snapshot.base_sequence == 0:
+            new_tree = ObjectTree.from_dict(snapshot.tree)
+            if cached is not None:
+                leaf.dirty_paths.update(cached[1].paths())
+            leaf.dirty_paths.update(new_tree.paths())
+            leaf.engines[snapshot.engine_id] = (snapshot.sequence, new_tree)
+            leaf.dirty_children.add(snapshot.engine_id)
+            self.dirty_engines.add(snapshot.engine_id)
+            return "accepted"
+        if cached is None or cached[0] != snapshot.base_sequence:
+            return "resync"
+        tree = cached[1]
+        changed = snapshot.tree.get("objects", {})
+        for path, obj_data in changed.items():
+            if tree.exists(path):
+                tree.remove(path)
+            tree.put(path, object_from_dict(obj_data))
+            leaf.dirty_paths.add(path)
+        leaf.engines[snapshot.engine_id] = (snapshot.sequence, tree)
+        if changed:
+            leaf.dirty_children.add(snapshot.engine_id)
+            self.dirty_engines.add(snapshot.engine_id)
+        return "accepted"
+
+    def engine_entry(self, engine_id: str) -> Optional[Tuple[int, ObjectTree]]:
+        """The cached ``(sequence, tree)`` for *engine_id*, if any."""
+        leaf = self._assignment.get(engine_id)
+        if leaf is None:
+            return None
+        return leaf.engines.get(engine_id)
+
+    def restore_engine(
+        self, engine_id: str, sequence: int, tree: ObjectTree
+    ) -> None:
+        """Seed an engine cache (checkpoint restore); starts dirty."""
+        leaf = self.leaf_for(engine_id)
+        leaf.engines[engine_id] = (sequence, tree)
+        leaf.dirty_paths.update(tree.paths())
+        leaf.dirty_children.add(engine_id)
+        self.dirty_engines.add(engine_id)
+
+    def discard_engine(self, engine_id: str) -> None:
+        """Drop an engine's cache; its paths re-fold without it."""
+        leaf = self._assignment.get(engine_id)
+        if leaf is None:
+            return
+        entry = leaf.engines.pop(engine_id, None)
+        if entry is None:
+            return
+        leaf.dirty_paths.update(entry[1].paths())
+        leaf.dirty_children.add(engine_id)
+        self.dirty_engines.add(engine_id)
+
+    # -- polling ------------------------------------------------------------
+    def _dirty_plan(self) -> List[List[Tuple[CombinerNode, int]]]:
+        """Per level, the ``(node, n folds)`` a poll would perform now."""
+        plan: List[List[Tuple[CombinerNode, int]]] = []
+        dirty_prev: Set[CombinerNode] = set()
+        for depth, level in enumerate(self.levels):
+            entries: List[Tuple[CombinerNode, int]] = []
+            for node in level:
+                if depth == 0:
+                    if node.dirty:
+                        entries.append(
+                            (node, max(1, len(node.dirty_children)))
+                        )
+                    continue
+                dirty_kids = sum(
+                    1 for child in node.children if child in dirty_prev
+                )
+                if dirty_kids or node.dirty:
+                    entries.append(
+                        (node, max(1, dirty_kids + len(node.dirty_children)))
+                    )
+            plan.append(entries)
+            dirty_prev = {node for node, _ in entries}
+        return plan
+
+    def poll_latency(self, cost: float) -> float:
+        """Simulated seconds a poll costs *now*: per level, the
+        combiners fold concurrently (charge the level's max fold count);
+        levels are sequential (a parent folds its children's outputs).
+        """
+        if cost <= 0:
+            return 0.0
+        return sum(
+            cost * max(folds for _, folds in entries)
+            for entries in self._dirty_plan()
+            if entries
+        )
+
+    def refold(self) -> List[int]:
+        """Re-fold every dirty combiner bottom-up; propagate combined
+        deltas upward.  Returns the max fold count per level (the
+        concurrent cost profile the latency model charges).
+        """
+        per_level: List[int] = []
+        for level in self.levels:
+            level_max = 0
+            for node in level:
+                if not node.dirty:
+                    continue
+                changed, folded = node.refold()
+                level_max = max(level_max, folded)
+                if node.parent is not None and (changed or folded):
+                    node.parent.dirty_paths.update(changed)
+                    node.parent.dirty_children.add(node.combiner_id)
+            per_level.append(level_max)
+        return per_level
+
+    # -- failures -----------------------------------------------------------
+    def crash_combiner(self, combiner_id: str) -> List[str]:
+        """A combiner process dies; its volatile state is lost.
+
+        Leaf: the per-engine caches and partial vanish — affected paths
+        re-fold without the lost contributions and the engines' next
+        deltas get ``"resync"``.  Returns the affected engine ids so the
+        caller can direct them to republish keyframes.  Internal: only
+        the partial is lost; it rebuilds from the children's intact
+        partials on the next poll (no engine involvement).
+        """
+        node = self._by_id.get(combiner_id)
+        if node is None:
+            raise CombinerError(f"unknown combiner {combiner_id!r}")
+        stale = set(node.partial.paths())
+        node.partial = ObjectTree()
+        node.version += 1
+        if node.is_leaf:
+            affected = sorted(node.engines)
+            for _, tree in node.engines.values():
+                stale.update(tree.paths())
+            node.engines.clear()
+            node.dirty_paths.update(stale)
+            node.dirty_children.update(affected)
+            self.dirty_engines.update(affected)
+            return affected
+        for child in node.children:
+            stale.update(child.partial.paths())
+            node.dirty_children.add(child.combiner_id)
+        node.dirty_paths.update(stale)
+        return []
+
+    def retire_combiner(self, combiner_id: str) -> str:
+        """Remove a leaf combiner, re-parenting its engines onto the
+        adjacent leaf (the previous one in level order, else the next).
+
+        Adjacent re-parenting keeps the global engine fold order
+        contiguous, so the served tree is unchanged (up to float
+        association) once the moved paths re-fold.  Returns the id of
+        the leaf that absorbed the engines.
+        """
+        node = self._by_id.get(combiner_id)
+        if node is None:
+            raise CombinerError(f"unknown combiner {combiner_id!r}")
+        if not node.is_leaf:
+            raise CombinerError("only leaf combiners can be retired")
+        leaves = self.levels[0]
+        if len(leaves) == 1:
+            raise CombinerError("cannot retire the only combiner")
+        index = leaves.index(node)
+        target = leaves[index - 1] if index > 0 else leaves[index + 1]
+        for engine_id, entry in node.engines.items():
+            target.engines[engine_id] = entry
+            target.dirty_paths.update(entry[1].paths())
+            target.dirty_children.add(engine_id)
+            self.dirty_engines.add(engine_id)
+        node.engines = {}
+        for engine_id, leaf in list(self._assignment.items()):
+            if leaf is node:
+                self._assignment[engine_id] = target
+        target.low = min(target.low, node.low)
+        parent = node.parent
+        if parent is not None:
+            parent.dirty_paths.update(node.partial.paths())
+            parent.dirty_children.add(node.combiner_id)
+            parent.children.remove(node)
+        leaves.remove(node)
+        del self._by_id[node.combiner_id]
+        # Prune ancestors left childless by the removal.
+        while (
+            parent is not None
+            and not parent.children
+            and parent.parent is not None
+        ):
+            grand = parent.parent
+            grand.dirty_paths.update(parent.partial.paths())
+            grand.dirty_children.add(parent.combiner_id)
+            grand.children.remove(parent)
+            self.levels[parent.level - 1].remove(parent)
+            del self._by_id[parent.combiner_id]
+            parent = grand
+        self._rebuild_routing()
+        return target.combiner_id
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every cache (rewind), keeping topology and routing."""
+        for level in self.levels:
+            for node in level:
+                node.reset()
+        self.dirty_engines.clear()

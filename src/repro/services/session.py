@@ -349,10 +349,16 @@ class EngineHost:
     def _publish(self, env: Environment, snapshot: Snapshot):
         """Submit a snapshot; answer a ``"resync"`` with a full keyframe.
 
-        The manager asks for a resync when it cannot apply a delta (its
-        per-engine cache was invalidated, or a snapshot was lost), so the
-        engine follows up with a full snapshot after another RMI hop.
+        With a tiered merge the snapshot is stamped with the leaf
+        combiner it routes through (the engine itself stays
+        topology-blind).  The manager asks for a resync when it cannot
+        apply a delta (its per-engine cache was invalidated, or a
+        snapshot was lost), so the engine follows up with a full
+        snapshot after another RMI hop.
         """
+        combiner = self.aida.combiner_of(self.session_id, self.engine_id)
+        if combiner is not None:
+            snapshot = replace(snapshot, combiner=combiner)
         self._payload_metric.inc(
             payload_nbytes(snapshot.tree),
             kind="full" if snapshot.base_sequence == 0 else "delta",
@@ -361,6 +367,8 @@ class EngineHost:
         if status == "resync":
             yield env.timeout(self.calibration.rmi_latency_s)
             full = self.engine.take_snapshot(final=snapshot.final, full=True)
+            if combiner is not None:
+                full = replace(full, combiner=combiner)
             self._payload_metric.inc(payload_nbytes(full.tree), kind="full")
             self.aida.submit_snapshot(self.session_id, full)
 
@@ -759,6 +767,16 @@ class SessionService:
         }
         self._sessions[session_id] = session
         self.aida.set_expected_engines(session_id, count)
+        # Wire the hierarchical merge tier now that engine placement is
+        # known (no-op when the manager has no fan-in configured).
+        self.aida.configure_tier(
+            session_id,
+            [reference.engine_id for reference in references],
+            workers={
+                reference.engine_id: reference.worker
+                for reference in references
+            },
+        )
         self._log(
             session_id,
             "create",
@@ -1841,6 +1859,28 @@ class SessionService:
             )
         return kind
 
+    def resync_engines(self, session_id: str, engine_ids):
+        """Ask the named live engines to republish full keyframes.
+
+        Generator (mailbox puts yield).  Used after a combiner crash:
+        the lost leaf caches heal on each engine's next delta via the
+        ``"resync"`` reply, but engines that already *finished* would
+        never resend — the explicit republish directive covers them.
+        Returns the number of directives sent.
+        """
+        session = self._sessions.get(session_id)
+        if session is None:
+            return 0
+        wanted = set(engine_ids)
+        sent = 0
+        for reference in sorted(
+            session["references"], key=lambda r: r.engine_id
+        ):
+            if reference.engine_id in wanted:
+                yield reference.mailbox.put(("republish",))
+                sent += 1
+        return sent
+
     def crash(self, torn_checkpoint: bool = False) -> None:
         """The manager-node service processes die (injected fault).
 
@@ -2129,6 +2169,17 @@ class SessionService:
                 self._quarantine(session_id, engine_id)
         if session["orphaned"] or session["pending_acks"]:
             self.aida.set_recovering(session_id, True)
+
+        # Make sure the merge tier exists even when no checkpoint carried
+        # its topology (restore_state rebuilds it otherwise); idempotent.
+        self.aida.configure_tier(
+            session_id,
+            [reference.engine_id for reference in references],
+            workers={
+                reference.engine_id: reference.worker
+                for reference in references
+            },
+        )
 
         # Ask every live engine for a full keyframe: covers everything the
         # last checkpoint missed, including engines that finished during

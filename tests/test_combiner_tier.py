@@ -1,0 +1,440 @@
+"""Unit + integration tests for the hierarchical merge tier.
+
+Covers topology planning and routing, the tiered poll latency model,
+combiner crash/resync and leaf retirement, checkpoint/restore of the
+tier, session-state hygiene, and an end-to-end site run with
+``merge_fan_in`` set against the flat reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aida.cloud import Cloud1D
+from repro.aida.hist1d import Histogram1D
+from repro.aida.tree import ObjectTree
+from repro.analysis import higgs
+from repro.client.client import IPAClient
+from repro.core.site import GridSite, SiteConfig
+from repro.engine.engine import Snapshot
+from repro.services.aida_manager import AIDAManagerService, MergeError
+from repro.services.combiner import (
+    CombinerError,
+    MergeTree,
+    plan_groups,
+)
+from repro.sim import Environment
+
+COST = 0.01
+
+
+def snap(engine_id, sequence, tree_dict, base=0, final=False):
+    return Snapshot(
+        engine_id=engine_id,
+        sequence=sequence,
+        events_processed=10,
+        total_events=10,
+        analysis_version=1,
+        run_id=0,
+        tree=tree_dict,
+        final=final,
+        base_sequence=base,
+    )
+
+
+def dyadic_tree(values):
+    """A tree whose histogram fills are exact dyadic rationals, so every
+    fold association yields bit-identical float sums."""
+    tree = ObjectTree()
+    hist = Histogram1D("h", "h", bins=16, lower=0.0, upper=1.0)
+    for value in values:
+        hist.fill((value % 33) / 32.0, weight=((value % 8) + 1) / 8.0)
+    tree.put("/d/h", hist)
+    return tree.to_dict()
+
+
+def build_pair(n_engines, fan_in, grouping="chunk"):
+    """A flat and a tiered manager fed from the same environment."""
+    env = Environment()
+    flat = AIDAManagerService(env, merge_cost_per_tree=COST)
+    tiered = AIDAManagerService(
+        env, merge_cost_per_tree=COST, fan_in=fan_in, grouping=grouping
+    )
+    ids = [f"engine-{i:04d}" for i in range(n_engines)]
+    tiered.configure_tier("s1", ids)
+    return env, flat, tiered, ids
+
+
+# -- planning and topology --------------------------------------------------
+
+def test_plan_groups_chunks_sorted_ids_contiguously():
+    groups = plan_groups(["e3", "e1", "e0", "e2", "e4"], 2)
+    assert groups == [["e0", "e1"], ["e2", "e3"], ["e4"]]
+
+
+def test_plan_groups_worker_policy_clusters_by_worker():
+    workers = {"e0": "w1", "e1": "w0", "e2": "w1", "e3": "w0"}
+    groups = plan_groups(["e0", "e1", "e2", "e3"], 2, "worker", workers)
+    assert groups == [["e1", "e3"], ["e0", "e2"]]
+
+
+def test_plan_groups_rejects_bad_inputs():
+    with pytest.raises(CombinerError):
+        plan_groups(["e0"], 1)
+    with pytest.raises(CombinerError):
+        plan_groups(["e0"], 2, "rack")
+
+
+def test_tree_topology_shape():
+    tier = MergeTree("s1", 4, plan_groups([f"e{i:02d}" for i in range(64)], 4))
+    assert [len(level) for level in tier.levels] == [16, 4, 1]
+    assert tier.depth == 3
+    assert tier.n_combiners == 21
+    assert tier.root.combiner_id == "s1/combiner-3.0"
+
+
+def test_single_group_tree_has_depth_one():
+    tier = MergeTree("s1", 8, [["e0", "e1"]])
+    assert tier.depth == 1
+    assert tier.root is tier.levels[0][0]
+
+
+def test_late_engine_routes_to_contiguous_leaf():
+    tier = MergeTree("s1", 2, plan_groups(["e0", "e2", "e4", "e6"], 2))
+    # "e3" sorts between e2 and e4: it must join e2's leaf so the global
+    # sorted order stays contiguous per leaf.
+    assert tier.combiner_of("e3") == tier.combiner_of("e2")
+    assert tier.combiner_of("e7") == tier.combiner_of("e6")
+    # Below every low bound: routed to the first leaf.
+    assert tier.combiner_of("a0") == tier.combiner_of("e0")
+
+
+def test_configure_tier_noop_without_fan_in_or_when_flat():
+    env = Environment()
+    flat = AIDAManagerService(env, merge_cost_per_tree=COST)
+    assert flat.configure_tier("s1", ["e0", "e1"]) is None
+    assert flat.tier("s1") is None
+    assert flat.combiner_of("s1", "e0") is None
+    non_inc = AIDAManagerService(
+        env, merge_cost_per_tree=COST, fan_in=2, incremental=False
+    )
+    assert non_inc.configure_tier("s1", ["e0", "e1"]) is None
+
+
+def test_configure_tier_is_idempotent_and_migrates_flat_state():
+    env = Environment()
+    manager = AIDAManagerService(env, merge_cost_per_tree=COST, fan_in=2)
+    # Snapshot lands before the session layer wires the topology.
+    manager.submit_snapshot("s1", snap("e0", 1, dyadic_tree([1, 2])))
+    tier = manager.configure_tier("s1", ["e0", "e1", "e2"])
+    assert tier is manager.configure_tier("s1", ["e0", "e1", "e2"])
+    assert tier.engine_entry("e0") is not None
+    tree_dict, _ = env.run(until=manager.merged("s1"))
+    reference = ObjectTree()
+    reference.merge_from(ObjectTree.from_dict(dyadic_tree([1, 2])))
+    assert tree_dict == reference.to_dict()
+
+
+# -- latency model ----------------------------------------------------------
+
+def test_all_dirty_poll_costs_f_log_f_not_n():
+    env, flat, tiered, ids = build_pair(64, 4)
+    for i, engine_id in enumerate(ids):
+        payload = dyadic_tree([i, i + 1])
+        flat.submit_snapshot("s1", snap(engine_id, 1, payload))
+        tiered.submit_snapshot("s1", snap(engine_id, 1, payload))
+    tier = tiered.tier("s1")
+    # Levels hold 16/4/1 combiners folding at most 4 inputs each: the
+    # all-dirty poll charges 4+4+4 = 12 tree-merges, not 64.
+    assert tier.poll_latency(COST) == pytest.approx(12 * COST)
+    assert flat.merge_latency_incremental(64, 64) == pytest.approx(64 * COST)
+
+
+def test_single_dirty_engine_costs_one_fold_per_level():
+    env, _, tiered, ids = build_pair(64, 4)
+    for i, engine_id in enumerate(ids):
+        tiered.submit_snapshot("s1", snap(engine_id, 1, dyadic_tree([i])))
+    env.run(until=tiered.merged("s1"))
+    tier = tiered.tier("s1")
+    assert tier.poll_latency(COST) == 0.0
+    delta = {"objects": dyadic_tree([7])["objects"]}
+    tiered.submit_snapshot("s1", snap(ids[7], 2, delta, base=1))
+    assert tier.poll_latency(COST) == pytest.approx(tier.depth * COST)
+
+
+def test_merge_latency_incremental_accounts_for_fan_in():
+    env = Environment()
+    manager = AIDAManagerService(env, merge_cost_per_tree=0.1, fan_in=4)
+    # 64 total / fan-in 4 -> 3 levels, each folding min(n_dirty, 4).
+    assert manager.merge_latency_incremental(1, 64) == pytest.approx(0.3)
+    assert manager.merge_latency_incremental(2, 64) == pytest.approx(0.6)
+    # Capped at the from-scratch tree merge (cost * f * levels).
+    assert manager.merge_latency_incremental(64, 64) == pytest.approx(
+        manager.merge_latency(64)
+    )
+    flat = AIDAManagerService(env, merge_cost_per_tree=0.1)
+    assert flat.merge_latency_incremental(2, 64) == pytest.approx(0.2)
+
+
+# -- correctness: tiered == flat -------------------------------------------
+
+def test_tiered_merge_is_exactly_equal_to_flat_merge():
+    env, flat, tiered, ids = build_pair(27, 3)
+    for i, engine_id in enumerate(ids):
+        payload = dyadic_tree([i, 2 * i, 3 * i])
+        flat.submit_snapshot("s1", snap(engine_id, 1, payload))
+        tiered.submit_snapshot("s1", snap(engine_id, 1, payload))
+    flat_tree, flat_progress = env.run(until=flat.merged("s1"))
+    tiered_tree, tiered_progress = env.run(until=tiered.merged("s1"))
+    assert tiered_tree == flat_tree
+    assert tiered_progress.engines_reporting == flat_progress.engines_reporting
+    # Deltas keep them in lockstep.
+    delta = {"objects": dyadic_tree([5])["objects"]}
+    flat.submit_snapshot("s1", snap(ids[5], 2, dict(delta), base=1))
+    tiered.submit_snapshot("s1", snap(ids[5], 2, dict(delta), base=1))
+    flat_tree, _ = env.run(until=flat.merged("s1"))
+    tiered_tree, _ = env.run(until=tiered.merged("s1"))
+    assert tiered_tree == flat_tree
+
+
+def test_chunk_grouping_preserves_cloud_concatenation_order():
+    # Cloud merges are list concatenations: order-sensitive, so they
+    # detect any fold-order deviation exactly.
+    env, flat, tiered, ids = build_pair(10, 3)
+    for i, engine_id in enumerate(ids):
+        tree = ObjectTree()
+        cloud = Cloud1D("c", "c")
+        cloud.fill(float(i), weight=1.0)
+        cloud.fill(float(i) + 0.5, weight=2.0)
+        tree.put("/c", cloud)
+        flat.submit_snapshot("s1", snap(engine_id, 1, tree.to_dict()))
+        tiered.submit_snapshot("s1", snap(engine_id, 1, tree.to_dict()))
+    flat_tree, _ = env.run(until=flat.merged("s1"))
+    tiered_tree, _ = env.run(until=tiered.merged("s1"))
+    assert tiered_tree == flat_tree
+
+
+def test_discard_engine_removes_contribution_from_tier():
+    env, flat, tiered, ids = build_pair(9, 2)
+    for i, engine_id in enumerate(ids):
+        payload = dyadic_tree([i])
+        flat.submit_snapshot("s1", snap(engine_id, 1, payload))
+        tiered.submit_snapshot("s1", snap(engine_id, 1, payload))
+    flat.discard_engine("s1", ids[4])
+    tiered.discard_engine("s1", ids[4])
+    flat_tree, _ = env.run(until=flat.merged("s1"))
+    tiered_tree, _ = env.run(until=tiered.merged("s1"))
+    assert tiered_tree == flat_tree
+    # Banned: late submissions never reach the tier.
+    assert tiered.submit_snapshot("s1", snap(ids[4], 2, dyadic_tree([9]))) == (
+        "dropped"
+    )
+
+
+def test_rewind_resets_tier_but_keeps_topology():
+    env, _, tiered, ids = build_pair(8, 2)
+    for i, engine_id in enumerate(ids):
+        tiered.submit_snapshot("s1", snap(engine_id, 1, dyadic_tree([i])))
+    env.run(until=tiered.merged("s1"))
+    tier = tiered.tier("s1")
+    depth = tier.depth
+    tiered.begin_run("s1", 1)
+    assert tiered.tier("s1") is tier
+    assert tier.depth == depth
+    assert not tier.dirty_engines
+    tree_dict, _ = env.run(until=tiered.merged("s1"))
+    assert tree_dict == ObjectTree().to_dict()
+
+
+# -- combiner failures ------------------------------------------------------
+
+def test_leaf_combiner_crash_forces_resync_and_heals():
+    env, flat, tiered, ids = build_pair(8, 2)
+    for i, engine_id in enumerate(ids):
+        payload = dyadic_tree([i, i + 3])
+        flat.submit_snapshot("s1", snap(engine_id, 1, payload))
+        tiered.submit_snapshot("s1", snap(engine_id, 1, payload))
+    flat_tree, _ = env.run(until=flat.merged("s1"))
+    env.run(until=tiered.merged("s1"))
+    victim = tiered.combiner_of("s1", ids[0])
+    affected = tiered.crash_combiner("s1", victim)
+    assert affected == sorted(ids[:2])
+    # A delta on a lost cache is answered with "resync".
+    delta = {"objects": dyadic_tree([0])["objects"]}
+    assert tiered.submit_snapshot("s1", snap(ids[0], 2, delta, base=1)) == (
+        "resync"
+    )
+    # The served tree honestly drops the lost contributions...
+    partial_tree, _ = env.run(until=tiered.merged("s1"))
+    assert partial_tree != flat_tree
+    # ...and heals once the affected engines republish keyframes.
+    for i, engine_id in enumerate(affected):
+        tiered.submit_snapshot(
+            "s1", snap(engine_id, 3, dyadic_tree([i, i + 3]))
+        )
+    healed_tree, _ = env.run(until=tiered.merged("s1"))
+    assert healed_tree == flat_tree
+
+
+def test_internal_combiner_crash_rebuilds_without_engine_resync():
+    env, flat, tiered, ids = build_pair(16, 2)
+    for i, engine_id in enumerate(ids):
+        payload = dyadic_tree([i])
+        flat.submit_snapshot("s1", snap(engine_id, 1, payload))
+        tiered.submit_snapshot("s1", snap(engine_id, 1, payload))
+    flat_tree, _ = env.run(until=flat.merged("s1"))
+    env.run(until=tiered.merged("s1"))
+    tier = tiered.tier("s1")
+    internal = tier.levels[1][0].combiner_id
+    assert tiered.crash_combiner("s1", internal) == []
+    rebuilt_tree, _ = env.run(until=tiered.merged("s1"))
+    assert rebuilt_tree == flat_tree
+
+
+def test_crash_unknown_combiner_raises():
+    env, _, tiered, _ = build_pair(4, 2)
+    with pytest.raises(CombinerError):
+        tiered.crash_combiner("s1", "s1/combiner-9.9")
+    flat = AIDAManagerService(env, merge_cost_per_tree=COST)
+    with pytest.raises(MergeError):
+        flat.crash_combiner("s1", "anything")
+
+
+def test_retire_leaf_reparents_engines_and_preserves_tree():
+    env, flat, tiered, ids = build_pair(9, 2)
+    for i, engine_id in enumerate(ids):
+        payload = dyadic_tree([i, 7 * i])
+        flat.submit_snapshot("s1", snap(engine_id, 1, payload))
+        tiered.submit_snapshot("s1", snap(engine_id, 1, payload))
+    flat_tree, _ = env.run(until=flat.merged("s1"))
+    env.run(until=tiered.merged("s1"))
+    victim = tiered.combiner_of("s1", ids[2])
+    target = tiered.retire_combiner("s1", victim)
+    assert tiered.combiner_of("s1", ids[2]) == target
+    retired_tree, _ = env.run(until=tiered.merged("s1"))
+    assert retired_tree == flat_tree
+    # Deltas keep flowing through the new parent.
+    delta = {"objects": dyadic_tree([2])["objects"]}
+    assert tiered.submit_snapshot("s1", snap(ids[2], 2, delta, base=1)) == (
+        "accepted"
+    )
+    flat.submit_snapshot("s1", snap(ids[2], 2, dict(delta), base=1))
+    flat_tree, _ = env.run(until=flat.merged("s1"))
+    tiered_tree, _ = env.run(until=tiered.merged("s1"))
+    assert tiered_tree == flat_tree
+
+
+def test_retire_only_leaf_is_rejected():
+    tier = MergeTree("s1", 2, [["e0", "e1"]])
+    with pytest.raises(CombinerError):
+        tier.retire_combiner(tier.levels[0][0].combiner_id)
+
+
+# -- durability and hygiene -------------------------------------------------
+
+def test_checkpoint_restore_rebuilds_tier_bit_identically():
+    env, _, tiered, ids = build_pair(9, 2)
+    for i, engine_id in enumerate(ids):
+        tiered.submit_snapshot("s1", snap(engine_id, 1, dyadic_tree([i, i])))
+    before, _ = env.run(until=tiered.merged("s1"))
+    state = tiered.checkpoint_state("s1")
+    assert state["tier_groups"] == tiered.tier("s1").leaf_groups()
+    tiered.crash()
+    tiered.restart()
+    tiered.restore_state("s1", state)
+    tier = tiered.tier("s1")
+    assert tier is not None
+    assert len(tier.dirty_engines) == len(ids)
+    after, _ = env.run(until=tiered.merged("s1"))
+    assert after == before
+
+
+def test_drop_session_releases_tier_state():
+    env, _, tiered, ids = build_pair(4, 2)
+    tiered.submit_snapshot("s1", snap(ids[0], 1, dyadic_tree([1])))
+    assert "tiers" in tiered.session_cache_keys("s1")
+    tiered.drop_session("s1")
+    assert tiered.session_cache_keys("s1") == []
+    # Zombie snapshot after close must not resurrect the tier.
+    assert tiered.submit_snapshot("s1", snap(ids[1], 1, dyadic_tree([2]))) == (
+        "dropped"
+    )
+    assert tiered.tier("s1") is None
+
+
+# -- end to end -------------------------------------------------------------
+
+def build_site(**site_kwargs):
+    site = GridSite(SiteConfig(n_workers=4, **site_kwargs))
+    site.register_dataset(
+        "ds-small",
+        "/test/ds-small",
+        size_mb=20.0,
+        n_events=2_000,
+        metadata={"experiment": "ilc", "energy": 500},
+        content={"kind": "ilc", "seed": 42},
+    )
+    user = site.enroll_user("/O=ILC/CN=alice")
+    return site, IPAClient(site, user)
+
+
+def run_scenario(site, client):
+    results = {}
+
+    def scenario():
+        yield from client.obtain_proxy_and_connect()
+        yield from client.select_dataset("ds-small")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=2.0)
+        results["tree"] = final.tree
+        results["progress"] = final.progress
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+    return results
+
+
+@pytest.mark.parametrize("grouping", ["chunk", "worker"])
+def test_site_run_with_merge_tier_matches_flat(grouping):
+    flat_results = run_scenario(*build_site())
+    tiered_results = run_scenario(
+        *build_site(merge_fan_in=2, merge_grouping=grouping)
+    )
+    assert tiered_results["progress"].complete
+    flat_mass = flat_results["tree"].get("/higgs/dijet_mass")
+    tiered_mass = tiered_results["tree"].get("/higgs/dijet_mass")
+    # Bin *entries* are integers: exact under any fold association.
+    assert tiered_mass.all_entries == flat_mass.all_entries
+    n_bins = flat_mass.axis.bins
+    np.testing.assert_array_equal(
+        np.asarray([tiered_mass.bin_entries(i) for i in range(n_bins)]),
+        np.asarray([flat_mass.bin_entries(i) for i in range(n_bins)]),
+    )
+    np.testing.assert_allclose(
+        tiered_mass.heights(), flat_mass.heights(), rtol=1e-9
+    )
+
+
+def test_site_tier_is_wired_and_snapshots_are_stamped():
+    site, client = build_site(merge_fan_in=2, enable_observability=True)
+    done = {}
+
+    def scenario():
+        info = yield from client.obtain_proxy_and_connect()
+        done["session"] = info.session_id
+        yield from client.select_dataset("ds-small")
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        yield from client.wait_for_completion(poll_interval=2.0)
+        tier = site.aida.tier(info.session_id)
+        assert tier is not None
+        assert tier.depth >= 2
+        snapshots = site.aida._snapshots[info.session_id]
+        assert snapshots, "engines reported"
+        for engine_id, snapshot in snapshots.items():
+            assert snapshot.combiner == tier.combiner_of(engine_id)
+        yield from client.close()
+
+    site.env.run(until=site.env.process(scenario()))
+    kinds = [e.kind for e in site.obs.events.events()]
+    assert "tier_configured" in kinds

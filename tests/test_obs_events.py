@@ -160,6 +160,9 @@ def test_event_vocabulary_is_pinned():
         "checkpoint_committed",
         "service_crash",
         "service_recovered",
+        "tier_configured",
+        "combiner_crash",
+        "combiner_retired",
         "slo_breach",
         "slo_recovered",
         "straggler_detected",

@@ -1,0 +1,176 @@
+"""Federation — T_grid across site counts, cold vs warm cross-site staging.
+
+Two questions, one sweep:
+
+1. Does federating the fabric perturb single-session analysis time?
+   ``T_grid(X, N)`` is measured for the Table 2 dataset (471 MB) with the
+   session brokered to its data-local home site while 1/2/4 sites share
+   the WAN — the broker must route local and the extra sites must stay
+   out of the way.
+2. What does cross-site data movement cost, and does the replica
+   migration amortise it?  A session forced to the *non-home* site pays
+   a cold SE→SE third-party transfer over the calibrated inter-site WAN
+   (~2.5 MB/s) before staging warm off the local SE; the repeat session
+   there reuses the migrated copy and skips the WAN entirely.
+
+Writes ``benchmarks/out/BENCH_federation.json`` and asserts the CI gate:
+warm cross-site staging >= 3x faster than cold at 2 sites x 16 nodes,
+with merged trees bit-identical across home, cold-remote, and
+warm-remote sessions.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import counting
+from repro.bench.tables import ComparisonTable
+from repro.core.site import SiteConfig
+from repro.federation import FederatedClient, Federation
+
+SIZE_MB = 471.0
+EVENTS_PER_MB = 4
+SITE_COUNTS = (1, 2, 4)
+NODE_COUNTS = (4, 16)
+OUT_JSON = Path(__file__).parent / "out" / "BENCH_federation.json"
+
+
+def build(n_sites, n_nodes):
+    fed = Federation(
+        n_sites=n_sites, site_config=SiteConfig(n_workers=n_nodes)
+    )
+    fed.register_dataset(
+        "ds",
+        "/bench/ds",
+        size_mb=SIZE_MB,
+        n_events=int(SIZE_MB * EVENTS_PER_MB),
+        content={"kind": "ilc", "seed": 3},
+        home="site1",
+    )
+    return fed
+
+
+def session(fed, subject, site=None):
+    """One brokered end-to-end session; simulated-seconds breakdown."""
+    client = FederatedClient(fed, fed.enroll_user(subject))
+    out = {}
+
+    def scenario():
+        t0 = fed.env.now
+        yield from client.connect(dataset_hint="ds", site=site)
+        staged = yield from client.select_dataset("ds")
+        out["staging_s"] = fed.env.now - t0
+        out["fetch_skipped"] = staged.fetch_skipped
+        out["site"] = client.site_name
+        yield from client.upload_code(counting.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=3.0)
+        out["total_s"] = fed.env.now - t0
+        out["tree"] = final.tree.to_dict()
+        yield from client.close()
+
+    fed.run(until=fed.env.process(scenario()))
+    return out
+
+
+def t_grid_sweep():
+    """T_grid at the data-local site while 1/2/4 sites share the WAN."""
+    rows = {}
+    for n_sites in SITE_COUNTS:
+        for n_nodes in NODE_COUNTS:
+            fed = build(n_sites, n_nodes)
+            run = session(fed, "/CN=bench-local")
+            assert run["site"] == "site1", "broker must route data-local"
+            rows[f"{n_sites}x{n_nodes}"] = {
+                "sites": n_sites,
+                "nodes": n_nodes,
+                "staging_s": run["staging_s"],
+                "t_grid_s": run["total_s"],
+            }
+    return rows
+
+
+def cross_site(n_nodes=16):
+    """Cold vs warm staging at the non-home site (2 sites x n_nodes)."""
+    fed = build(2, n_nodes)
+    cold = session(fed, "/CN=bench-cold", site="site2")
+    warm = session(fed, "/CN=bench-warm", site="site2")
+    assert fed.stats()["migrations"] == 1, "warm repeat must skip the WAN"
+    home = session(build(2, n_nodes), "/CN=bench-home")
+    return {
+        "nodes": n_nodes,
+        "cold_staging_s": cold["staging_s"],
+        "warm_staging_s": warm["staging_s"],
+        "staging_speedup": cold["staging_s"] / warm["staging_s"],
+        "cold_total_s": cold["total_s"],
+        "warm_total_s": warm["total_s"],
+        "trees_identical": (
+            cold["tree"] == warm["tree"] == home["tree"]
+        ),
+    }
+
+
+def sweep():
+    return {"t_grid": t_grid_sweep(), "cross_site": cross_site()}
+
+
+def test_federation_speedup(benchmark, report):
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = ComparisonTable(
+        f"Federation: T_grid({SIZE_MB:.0f} MB) at the data-local site "
+        "(simulated seconds)",
+        ["sites x nodes", "staging", "T_grid"],
+    )
+    for key, row in results["t_grid"].items():
+        table.add_row(
+            key, f"{row['staging_s']:.1f} s", f"{row['t_grid_s']:.1f} s"
+        )
+    cross = results["cross_site"]
+    table2 = ComparisonTable(
+        f"Cross-site staging at 2 sites x {cross['nodes']} nodes",
+        ["path", "staging", "total"],
+    )
+    table2.add_row(
+        "cold (SE->SE migrate)",
+        f"{cross['cold_staging_s']:.1f} s",
+        f"{cross['cold_total_s']:.1f} s",
+    )
+    table2.add_row(
+        "warm (migrated copy)",
+        f"{cross['warm_staging_s']:.1f} s",
+        f"{cross['warm_total_s']:.1f} s",
+    )
+    report("federation", table.render() + "\n" + table2.render())
+
+    OUT_JSON.parent.mkdir(exist_ok=True)
+    OUT_JSON.write_text(
+        json.dumps(
+            {
+                "size_mb": SIZE_MB,
+                "events_per_mb": EVENTS_PER_MB,
+                "t_grid": results["t_grid"],
+                "cross_site": cross,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # CI gates: the migrated replica must amortise the WAN cost, and
+    # site count must never change what the analysis computes.
+    assert cross["trees_identical"], (
+        "cross-site session merged tree differs from the home-site run"
+    )
+    assert cross["staging_speedup"] >= 3.0, (
+        f"expected >= 3x warm cross-site staging speedup, got "
+        f"{cross['staging_speedup']:.1f}x"
+    )
+    # Extra idle sites on the shared WAN must not slow the local session.
+    for n_nodes in NODE_COUNTS:
+        base = results["t_grid"][f"1x{n_nodes}"]["t_grid_s"]
+        for n_sites in SITE_COUNTS[1:]:
+            multi = results["t_grid"][f"{n_sites}x{n_nodes}"]["t_grid_s"]
+            assert multi <= base * 1.05, (
+                f"{n_sites} sites slowed T_grid at {n_nodes} nodes: "
+                f"{multi:.1f}s vs {base:.1f}s"
+            )

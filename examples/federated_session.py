@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Federated sessions: data-local brokering, then failover on partition.
+
+Stands up a two-site federation sharing one WAN, registers the demo
+dataset homed at site1, and runs the Higgs search twice:
+
+1. a brokered session — the SessionBroker scores both sites and routes
+   the client to the data-local one (no WAN bytes move);
+2. a chaos session — the dataset is first pinned to 2 copies (SE→SE
+   third-party transfer to site2), then site1's WAN boundary is severed
+   mid-run and the client transparently fails over to site2.
+
+Both merged trees must be bit-identical to each other: the federation
+moves sessions and replicas, never physics.
+
+Run:  python examples/federated_session.py
+"""
+
+from repro.analysis import higgs
+from repro.core import SiteConfig
+from repro.federation import FederatedClient, Federation
+from repro.obs.dashboard import sites_section
+
+DATASET = "ilc-demo"
+
+
+def build_federation():
+    fed = Federation(n_sites=2, site_config=SiteConfig(n_workers=4))
+    fed.register_dataset(
+        DATASET,
+        "/ilc/demo",
+        size_mb=50.0,
+        n_events=5_000,
+        metadata={"experiment": "ilc", "energy": 500},
+        content={"kind": "ilc", "seed": 2006},
+        home="site1",
+    )
+    return fed
+
+
+def analysis(fed, client, out, chaos=False):
+    if chaos:
+        # Replicate first so the failover target already holds the data.
+        placed = yield from fed.policy.ensure_pinned(DATASET, 2)
+        print(f"pinned 2 copies (migrated to {', '.join(placed)}) "
+              f"at t={fed.env.now:.1f} s")
+    yield from client.connect(dataset_hint=DATASET)
+    print(f"broker routed {client.client_id} -> {client.site_name}")
+    yield from client.select_dataset(DATASET)
+    yield from client.upload_code(higgs.SOURCE)
+    yield from client.run()
+    if chaos:
+        yield fed.env.timeout(3.0)
+        victim = client.site_name
+        fed.partition_site(victim)
+        print(f"partitioned {victim} mid-run at t={fed.env.now:.1f} s")
+    final = yield from client.wait_for_completion(poll_interval=5.0)
+    print(f"completed at {client.site_name} (t={fed.env.now:.1f} s)")
+    out["tree"] = final.tree.to_dict()
+    out["site"] = client.site_name
+    yield from client.close()
+
+
+def main() -> None:
+    # Run 1: the broker picks the data-local site on its own.
+    fed = build_federation()
+    local = {}
+    client = FederatedClient(fed, fed.enroll_user("/O=ILC/CN=local-user"))
+    fed.run(until=fed.env.process(analysis(fed, client, local)))
+    assert local["site"] == "site1", "expected the data-local site to win"
+
+    # Run 2: fresh federation, partition the session's site mid-run.
+    print()
+    fed2 = build_federation()
+    failed_over = {}
+    client2 = FederatedClient(fed2, fed2.enroll_user("/O=ILC/CN=chaos-user"))
+    fed2.run(
+        until=fed2.env.process(
+            analysis(fed2, client2, failed_over, chaos=True)
+        )
+    )
+    assert failed_over["site"] != local["site"], "expected a failover"
+    assert fed2.stats()["failovers"] == 1
+
+    assert failed_over["tree"] == local["tree"], (
+        "failover changed the merged tree"
+    )
+    print("\nmerged trees bit-identical across brokering and failover")
+    print("\nper-site panel after the chaos run:")
+    for line in sites_section(fed2.stats()["sites"]):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

@@ -47,6 +47,11 @@ class Calibration:
     lan_fetch_bandwidth_mbps: float = 7.476
     worker_link_mbps: float = 7.597
     lan_latency_s: float = 0.001
+    #: Dedicated SE↔SE links between federated sites (third-party
+    #: transfers).  Research-network class, an order of magnitude above
+    #: the paper's commodity client WAN but well under any LAN.
+    intersite_wan_mbps: float = 2.5
+    intersite_wan_latency_s: float = 0.05
 
     # -- storage element ---------------------------------------------------
     se_disk_mbps: float = 10.24
@@ -86,6 +91,7 @@ class Calibration:
             "lan_fetch_bandwidth_mbps",
             "worker_link_mbps",
             "se_disk_mbps",
+            "intersite_wan_mbps",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0")

@@ -209,52 +209,96 @@ class SiteConfig:
 
 
 class GridSite:
-    """The assembled simulated grid site plus its service container."""
+    """The assembled simulated grid site plus its service container.
+
+    By default a site is a self-contained world: it creates its own
+    simulation environment, network, CA, and observability, with the
+    paper's literal host names (``desktop``/``repository``/``manager``/
+    ``se``/``w0``...).  For multi-site federation the constructor accepts
+    a shared ``env`` + ``network`` (plus optionally a shared ``ca`` and
+    ``obs``) and a site ``name``: the site's hosts are then prefixed
+    (``{name}-manager``, ``{name}-se``, ``{name}-w0``...), its hosts carry
+    ``site={name}`` labels, and the shared client/archive endpoints
+    (``desktop``, ``repository``) are created only if absent.  With
+    ``name=None`` the assembly is bit-identical to the historical
+    single-site build.
+
+    ``attach_repository`` controls whether this site's SE gets a LAN link
+    to the shared archive host; a federation attaches the repository to
+    one site only so that archive links never become a WAN bypass between
+    sites.
+    """
 
     def __init__(
         self,
         config: SiteConfig = SiteConfig(),
         calibration: Calibration = DEFAULT_CALIBRATION,
+        *,
+        env: Optional[Environment] = None,
+        network: Optional[Network] = None,
+        name: Optional[str] = None,
+        ca: Optional[CertificateAuthority] = None,
+        obs: Optional[Observability] = None,
+        attach_repository: bool = True,
     ) -> None:
+        if (env is None) != (network is None):
+            raise ValueError("env and network must be provided together")
         self.config = config
         self.calibration = calibration
         cal = calibration
-        self.env = Environment()
+        self.env = env if env is not None else Environment()
         env = self.env
-        self.obs = Observability(env, enabled=config.enable_observability)
+        #: Site label on the shared topology ("slac" for the historical
+        #: standalone build).
+        self.name = name if name is not None else "slac"
+        prefix = f"{name}-" if name is not None else ""
+        #: Set by the federation layer while this site's WAN boundary is
+        #: severed; the federated client turns it into brokered failover.
+        self.partitioned = False
+        self.obs = (
+            obs
+            if obs is not None
+            else Observability(env, enabled=config.enable_observability)
+        )
 
         # -- network ---------------------------------------------------
-        net = Network(env)
+        net = network if network is not None else Network(env)
         self.network = net
-        net.add_host("desktop", site="home")
-        net.add_host("repository", site="archive")
-        net.add_host("manager", site="slac")
-        net.add_host("se", site="slac")
+        mgr_host = f"{prefix}manager"
+        se_host = f"{prefix}se"
+        if "desktop" not in net.hosts:
+            net.add_host("desktop", site="home")
+        if "repository" not in net.hosts:
+            net.add_host("repository", site="archive")
+        net.add_host(mgr_host, site=self.name)
+        net.add_host(se_host, site=self.name)
+        if "wan-desktop-repo" not in net.links:
+            net.add_link(
+                "wan-desktop-repo",
+                "desktop",
+                "repository",
+                bandwidth=cal.wan_bandwidth_mbps,
+                latency=cal.wan_latency_s,
+            )
         net.add_link(
-            "wan-desktop-repo",
+            f"wan-desktop-{mgr_host}",
             "desktop",
-            "repository",
+            mgr_host,
             bandwidth=cal.wan_bandwidth_mbps,
             latency=cal.wan_latency_s,
         )
+        if attach_repository:
+            net.add_link(
+                f"lan-repo-{se_host}",
+                "repository",
+                se_host,
+                bandwidth=cal.lan_fetch_bandwidth_mbps,
+                latency=cal.lan_latency_s,
+            )
         net.add_link(
-            "wan-desktop-manager",
-            "desktop",
-            "manager",
-            bandwidth=cal.wan_bandwidth_mbps,
-            latency=cal.wan_latency_s,
-        )
-        net.add_link(
-            "lan-repo-se",
-            "repository",
-            "se",
-            bandwidth=cal.lan_fetch_bandwidth_mbps,
-            latency=cal.lan_latency_s,
-        )
-        net.add_link(
-            "lan-manager-se",
-            "manager",
-            "se",
+            f"lan-{mgr_host}-{se_host}",
+            mgr_host,
+            se_host,
             bandwidth=cal.lan_fetch_bandwidth_mbps,
             latency=cal.lan_latency_s,
         )
@@ -273,31 +317,31 @@ class GridSite:
             env, "desktop", NodeSpec(cpu_mhz=1700.0, disk_read_mbps=400, disk_write_mbps=400)
         )
         self.manager = ManagerNode(
-            env, "manager", NodeSpec(cpu_mhz=2000.0, disk_read_mbps=400, disk_write_mbps=400)
+            env, mgr_host, NodeSpec(cpu_mhz=2000.0, disk_read_mbps=400, disk_write_mbps=400)
         )
-        self.storage = StorageElement(env, "se", se_spec)
+        self.storage = StorageElement(env, se_host, se_spec)
         self.workers: List[WorkerNode] = []
         for index in range(config.n_workers):
-            name = f"w{index}"
-            net.add_host(name, site="slac")
+            worker_host = f"{prefix}w{index}"
+            net.add_host(worker_host, site=self.name)
             net.add_link(
-                f"lan-se-{name}",
-                "se",
-                name,
+                f"lan-{se_host}-{worker_host}",
+                se_host,
+                worker_host,
                 bandwidth=cal.worker_link_mbps,
                 latency=cal.lan_latency_s,
             )
             net.add_link(
-                f"lan-manager-{name}",
-                "manager",
-                name,
+                f"lan-{mgr_host}-{worker_host}",
+                mgr_host,
+                worker_host,
                 bandwidth=cal.worker_link_mbps,
                 latency=cal.lan_latency_s,
             )
-            self.workers.append(WorkerNode(env, name, worker_spec))
+            self.workers.append(WorkerNode(env, worker_host, worker_spec))
 
         # -- scheduler + security ----------------------------------------
-        self.element = ComputeElement("slac-osg", self.workers)
+        self.element = ComputeElement(f"{self.name}-osg", self.workers)
         self.scheduler = BatchScheduler(env, self.element, obs=self.obs)
         self.scheduler.add_queue(
             QueueSpec(
@@ -309,9 +353,14 @@ class GridSite:
         self.scheduler.add_queue(
             QueueSpec("batch", priority=10, dispatch_latency=cal.batch_dispatch_s)
         )
-        self.ca = CertificateAuthority("ipa-ca")
+        self.ca = ca if ca is not None else CertificateAuthority("ipa-ca")
+        service_subject = (
+            "/O=SLAC/CN=ipa-service"
+            if name is None
+            else f"/O={self.name}/CN=ipa-service"
+        )
         self.service_credential = self.ca.issue_identity(
-            "/O=SLAC/CN=ipa-service", now=0.0
+            service_subject, now=0.0
         )
         self.vo = VirtualOrganization("ilc")
         #: All VOs known at this site, by name (grown by :meth:`add_vo`).
@@ -361,7 +410,7 @@ class GridSite:
             obs=self.obs,
         )
         self.catalog = DatasetCatalogService()
-        self.locator = LocatorService()
+        self.locator = LocatorService(site_id=self.name)
         self.splitter = SplitterService(
             env,
             self.storage,
@@ -496,17 +545,28 @@ class GridSite:
         if self.obs.enabled:
             from repro.obs import SLOPolicy
 
-            self.obs.slo.add_policy(
-                SLOPolicy(
-                    name="poll-latency",
-                    signal="aida.merged",
-                    objective=config.slo_poll_p99_s,
-                    quantile=0.99,
-                    window_s=config.slo_window_s,
+            # Federated sites share one Observability; only the first
+            # site to assemble installs the policy.
+            if not any(
+                p.name == "poll-latency" for p in self.obs.slo.policies
+            ):
+                self.obs.slo.add_policy(
+                    SLOPolicy(
+                        name="poll-latency",
+                        signal="aida.merged",
+                        objective=config.slo_poll_p99_s,
+                        quantile=0.99,
+                        window_s=config.slo_window_s,
+                    )
                 )
-            )
         self.control = ControlService(
-            env, self.ca, self.service_credential, self.session_service, self.container
+            env,
+            self.ca,
+            self.service_credential,
+            self.session_service,
+            self.container,
+            site_name=self.name,
+            replicas=self.replicas,
         )
 
         # Expose services through the container (what the client calls).
@@ -594,11 +654,11 @@ class GridSite:
             DatasetLocation(
                 dataset_id=dataset_id,
                 kind=kind,
-                host="se",
+                host=self.storage.name,
                 path=f"/store/{dataset_id}.ipad",
                 size_mb=size_mb,
                 n_events=n_events,
-                splitter_host="se",
+                splitter_host=self.storage.name,
                 origin_host=origin_host,
             )
         )

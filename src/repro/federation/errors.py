@@ -1,0 +1,19 @@
+"""Federation-layer exceptions."""
+
+from __future__ import annotations
+
+from repro.resilience.faults import ServiceUnavailable
+
+
+class FederationError(Exception):
+    """Raised on invalid federation operations or unbrokerable sessions."""
+
+
+class SitePartitioned(ServiceUnavailable):
+    """The session's site is behind a severed WAN boundary.
+
+    Subclasses :class:`~repro.resilience.faults.ServiceUnavailable` so
+    existing back-off/reconnect handling treats it like any service
+    outage; the federated client additionally heals it by brokered
+    failover to the next-ranked site.
+    """

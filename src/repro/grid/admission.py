@@ -136,6 +136,21 @@ class AdmissionController:
             return len(self._waiters.get(vo, ()))
         return sum(len(queue) for queue in self._waiters.values())
 
+    def would_admit(self, vo: str, n: int = 1) -> bool:
+        """Whether ``acquire(vo, n)`` would be granted without waiting.
+
+        Pure read — no slots move, the VO is not marked as seen.  The
+        federation broker uses this as the admission-headroom signal when
+        scoring candidate sites.
+        """
+        if n < 1 or n > self.capacity:
+            return False
+        return self._admissible(vo, n)
+
+    def retry_hint(self) -> float:
+        """The ``retry_after`` hint a rejection would carry right now."""
+        return self._retry_hint()
+
     def stats(self) -> dict:
         """Snapshot of the controller state (diagnostics)."""
         vos = sorted(self._seen | set(self._active) | set(self._waiters))

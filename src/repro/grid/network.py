@@ -370,6 +370,28 @@ class Network:
             raise NetworkError(f"unknown host {host!r}")
         return list(self._adjacency[host])
 
+    def hosts_in_site(self, site: str) -> List[str]:
+        """Names of every host carrying the given ``site`` label."""
+        return [
+            name for name, host in self._hosts.items() if host.site == site
+        ]
+
+    def boundary_links(self, site: str) -> List[Link]:
+        """Links with exactly one endpoint inside *site*.
+
+        These are the links a site partition severs: intra-site links stay
+        up (the site keeps running internally) while every route in or out
+        of the site disappears.
+        """
+        members = set(self.hosts_in_site(site))
+        if not members:
+            raise NetworkError(f"no hosts in site {site!r}")
+        return [
+            link
+            for link in self._links.values()
+            if (link.a in members) != (link.b in members)
+        ]
+
     # -- failures -------------------------------------------------------
     def fail_link(self, name: str) -> None:
         """Take a link down.

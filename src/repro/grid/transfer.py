@@ -250,6 +250,53 @@ class GridFTPService:
 
         return self.env.process(self.obs.tracer.wrap(span, run()))
 
+    def third_party(
+        self,
+        src_se: Node,
+        dst_se: Node,
+        name: str,
+        size_mb: float,
+        streams: Optional[int] = None,
+        retries: Optional[int] = 2,
+    ) -> Process:
+        """SE→SE third-party transfer (server-to-server, client off-path).
+
+        Classic GridFTP third-party mode: the control channel tells the
+        source SE to push straight to the destination SE, so the payload
+        crosses only the inter-site links between the two storage
+        elements — never the client WAN.  This is the replica-migration
+        primitive the federation broker uses to move whole-dataset copies
+        toward sessions (Allcock et al.'s replica-management transport).
+
+        Timing and retry semantics are exactly :meth:`transfer_file`
+        (both SE spindles are charged); only the accounting differs so
+        migrations are distinguishable from staging traffic.
+        """
+        metrics = self.obs.metrics
+        span = self.obs.tracer.start(
+            "ftp.third_party",
+            file=name,
+            src=src_se.name,
+            dst=dst_se.name,
+            mb=size_mb,
+        )
+
+        def run():
+            stats = yield self.transfer_file(
+                src_se, dst_se, name, size_mb, streams=streams, retries=retries
+            )
+            metrics.counter(
+                "ftp_third_party_transfers_total",
+                "Completed SE-to-SE third-party transfers",
+            ).inc()
+            metrics.counter(
+                "ftp_third_party_mb_total",
+                "Payload moved by third-party transfers (MB)",
+            ).inc(size_mb)
+            return stats
+
+        return self.env.process(self.obs.tracer.wrap(span, run()))
+
     def scatter(
         self,
         source: StorageElement,

@@ -126,6 +126,35 @@ def events_section(events: List[Event], limit: int = 8) -> List[str]:
     ]
 
 
+def sites_section(rows: List[Dict[str, object]]) -> List[str]:
+    """Per-site federation panel rows (from ``Federation.stats()``).
+
+    Each row carries ``site`` / ``sessions`` / ``active_sessions`` /
+    ``resident_replica_mb`` / ``wan_in_mb`` / ``wan_out_mb`` /
+    ``admission_backlog`` / ``partitioned``.
+    """
+    if not rows:
+        return ["  (no sites)"]
+    lines = []
+    for row in rows:
+        lines.append(
+            "  {site:<8} sessions {sessions:>3} (live {active:>2})  "
+            "replicas {resident:>8.1f} MB  wan in/out "
+            "{wan_in:>8.1f}/{wan_out:<8.1f} MB  backlog {backlog:>3}"
+            "{mark}".format(
+                site=str(row.get("site") or "?"),
+                sessions=int(row.get("sessions") or 0),
+                active=int(row.get("active_sessions") or 0),
+                resident=float(row.get("resident_replica_mb") or 0.0),
+                wan_in=float(row.get("wan_in_mb") or 0.0),
+                wan_out=float(row.get("wan_out_mb") or 0.0),
+                backlog=int(row.get("admission_backlog") or 0),
+                mark="  << PARTITIONED" if row.get("partitioned") else "",
+            )
+        )
+    return lines
+
+
 # -- boards ----------------------------------------------------------------
 
 def render_board(
@@ -133,13 +162,18 @@ def render_board(
     session_service=None,
     session_id: Optional[str] = None,
     max_events: int = 8,
+    federation=None,
 ) -> str:
     """The live board, renderable at any simulated time.
 
     With a *session_service* and *session_id* the per-node section shows
-    that session's engines; otherwise it is omitted.  SLO / straggler /
-    event sections come from the :class:`~repro.obs.Observability`
-    handle and say so when telemetry is disabled.
+    that session's engines; otherwise it is omitted.  With a
+    *federation* (a :class:`~repro.federation.topology.Federation`) a
+    per-site panel is prepended — sessions brokered, resident replica
+    bytes, WAN traffic, admission backlog, partition state.  SLO /
+    straggler / event sections come from the
+    :class:`~repro.obs.Observability` handle and say so when telemetry
+    is disabled.
     """
     now = getattr(getattr(obs, "env", None), "now", None)
     header = "== ipa status board"
@@ -148,6 +182,16 @@ def render_board(
     if session_id is not None:
         header += f"  session {session_id}"
     lines = [header + " =="]
+
+    if federation is not None:
+        stats = federation.stats()
+        lines.append(
+            "sites ({brokered} brokered, {failovers} failovers, "
+            "{migrations} migrations, {evictions} evictions):".format(
+                **stats
+            )
+        )
+        lines.extend(sites_section(stats["sites"]))
 
     if session_service is not None and session_id is not None:
         status = session_service.status(session_id)
@@ -225,6 +269,22 @@ def board_from_jsonl(
             f"{len(breaches)} SLO breaches, "
             f"{len(stragglers)} stragglers flagged"
         )
+        federated = [e for e in events if e.kind.startswith("federation_")]
+        partitions = [e for e in events if e.kind == "site_partitioned"]
+        if federated or partitions:
+            brokered = sum(
+                1 for e in federated if e.kind == "federation_session_brokered"
+            )
+            failovers = sum(
+                1 for e in federated if e.kind == "federation_failover"
+            )
+            migrations = sum(
+                1 for e in federated if e.kind == "federation_replica_migrated"
+            )
+            lines.append(
+                f"federation: {brokered} brokered, {failovers} failovers, "
+                f"{migrations} migrations, {len(partitions)} partitions"
+            )
         lines.extend(events_section(events[-max_events:], max_events))
         rendered_any = True
 

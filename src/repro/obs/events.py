@@ -52,6 +52,12 @@ EVENT_KINDS = (
     "slo_recovered",
     "straggler_detected",
     "straggler_recovered",
+    "federation_session_brokered",
+    "federation_failover",
+    "federation_replica_migrated",
+    "federation_replica_evicted",
+    "site_partitioned",
+    "site_healed",
 )
 
 #: Recognised severities, in increasing order of alarm.

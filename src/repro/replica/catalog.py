@@ -169,6 +169,15 @@ class ReplicaCatalog:
         replica = self._replicas.get(key, {}).get(host)
         return replica is not None and replica.valid
 
+    def total_mb(self) -> float:
+        """Total MB of all valid replicas (federation byte-pressure input)."""
+        return sum(
+            replica.size_mb
+            for holders in self._replicas.values()
+            for replica in holders.values()
+            if replica.valid
+        )
+
     def hosts_with_dataset(self, dataset_id: str) -> Dict[str, float]:
         """host -> cached MB of the dataset's *current* generation.
 

@@ -233,6 +233,28 @@ class ReplicaManager:
             now=self.env.now,
         )
 
+    def forget_whole(
+        self, dataset_id: str, reason: str = "evicted"
+    ) -> bool:
+        """Drop the SE whole-file copy (federation byte-pressure eviction).
+
+        Only the whole-file replica goes; split part files and worker
+        caches survive (they serve same-geometry restages until the next
+        generation bump).  Returns whether a copy was actually dropped.
+        Datasets resident by construction (no ``origin_host``) have no
+        whole-file record and return ``False`` — the home copy cannot be
+        evicted.
+        """
+        key = self.whole_key(dataset_id)
+        if not self.catalog.has(key, self.storage.name):
+            return False
+        self.catalog.unregister(key, self.storage.name, reason=reason)
+        return True
+
+    def resident_mb(self) -> float:
+        """Total MB of valid replicas this site holds (SE + worker caches)."""
+        return self.catalog.total_mb()
+
     # -- residency queries ----------------------------------------------------
     def worker_has(self, worker: str, key: str) -> bool:
         """Fresh cache hit on a healthy worker (TTL enforced here)."""
@@ -391,8 +413,17 @@ class ReplicaManager:
     def invalidate_dataset(self, dataset_id: str, reason: str = "invalidated") -> int:
         return self.catalog.invalidate_dataset(dataset_id, reason=reason)
 
-    def dataset_updated(self, dataset_id: str) -> int:
-        """Dataset re-registered: bump the generation, killing old replicas."""
+    def dataset_updated(
+        self, dataset_id: str, site_id: Optional[str] = None
+    ) -> int:
+        """Dataset re-registered: bump the generation, killing old replicas.
+
+        ``site_id`` identifies the originating site when the update comes
+        through a locator hook; a single-site manager invalidates its own
+        copies either way, the parameter exists so federated catalogs can
+        fan the same callback out per site without over-invalidating.
+        """
+        del site_id  # single-site manager: all local copies die regardless
         return self.catalog.bump_generation(dataset_id)
 
     # -- placement affinity ----------------------------------------------------

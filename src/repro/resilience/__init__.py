@@ -28,10 +28,12 @@ from repro.resilience.checkpoint import CheckpointStore, DurabilityConfig
 from repro.resilience.faults import (
     FAULT_KINDS,
     SERVICE_FAULT_KINDS,
+    SITE_FAULT_KINDS,
     FailureInjector,
     FaultPlan,
     ServiceFault,
     ServiceUnavailable,
+    SiteFault,
     WorkerFault,
 )
 from repro.resilience.heartbeat import HeartbeatMonitor, RecoveryConfig
@@ -46,6 +48,7 @@ from repro.resilience.retry import RetryPolicy, retrying
 __all__ = [
     "FAULT_KINDS",
     "SERVICE_FAULT_KINDS",
+    "SITE_FAULT_KINDS",
     "CheckpointStore",
     "DurabilityConfig",
     "DurableStore",
@@ -58,6 +61,7 @@ __all__ = [
     "ServiceFault",
     "ServiceUnavailable",
     "SessionJournal",
+    "SiteFault",
     "WorkerFault",
     "replay_journal",
     "retrying",

@@ -50,6 +50,9 @@ SERVICE_FAULT_KINDS = (
     "combiner-crash",
 )
 
+#: Recognised site-level fault kinds (federation WAN events).
+SITE_FAULT_KINDS = ("site-partition", "site-heal")
+
 
 class ServiceUnavailable(Exception):
     """A manager-node service endpoint is down (process crashed).
@@ -83,6 +86,32 @@ class ServiceFault:
     def __post_init__(self) -> None:
         if self.kind not in SERVICE_FAULT_KINDS:
             raise ValueError(f"unknown service fault kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("at must be >= 0")
+
+
+@dataclass(frozen=True)
+class SiteFault:
+    """One planned site-level WAN fault at an absolute time.
+
+    ``site-partition``
+        Every boundary link of the site (links with exactly one endpoint
+        inside it) goes down: in-flight WAN transfers fail with
+        :class:`~repro.sim.LinkDown`, no route in or out of the site
+        survives, but the site keeps running internally.  The federation
+        layer heals sessions stranded at a partitioned site by brokered
+        failover to the next-ranked site.
+    ``site-heal``
+        The boundary links come back up.
+    """
+
+    site: str
+    at: float
+    kind: str = "site-partition"
+
+    def __post_init__(self) -> None:
+        if self.kind not in SITE_FAULT_KINDS:
+            raise ValueError(f"unknown site fault kind {self.kind!r}")
         if self.at < 0:
             raise ValueError("at must be >= 0")
 
@@ -137,6 +166,7 @@ class FaultPlan:
     check_every: float = 5.0
     horizon: Optional[float] = None
     service_faults: List[ServiceFault] = field(default_factory=list)
+    site_faults: List[SiteFault] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.check_every <= 0:
@@ -150,6 +180,11 @@ class FaultPlan:
     def add_service(self, fault: ServiceFault) -> "FaultPlan":
         """Append a service-level fault; returns self for chaining."""
         self.service_faults.append(fault)
+        return self
+
+    def add_site(self, fault: SiteFault) -> "FaultPlan":
+        """Append a site-level fault; returns self for chaining."""
+        self.site_faults.append(fault)
         return self
 
     def scheduled(self) -> List[WorkerFault]:
@@ -299,6 +334,42 @@ class FailureInjector:
         self.scheduler.restore_worker(name)
         self.log.append((self.env.now, "restore", name))
 
+    # -- site faults -------------------------------------------------------
+    def partition_site(self, site: str) -> List[str]:
+        """Cut every boundary link of *site* (WAN partition).
+
+        Intra-site links stay up, so the site keeps computing internally;
+        in-flight transfers crossing the boundary fail with
+        :class:`~repro.sim.LinkDown`.  Returns the failed link names (for
+        :meth:`heal_site`).  Idempotent at the link level.
+        """
+        if self.network is None:
+            raise ValueError("injector built without a network")
+        names = [link.name for link in self.network.boundary_links(site)]
+        for link_name in names:
+            self.network.fail_link(link_name)
+        self._record("site-partition", site, links=len(names))
+        return names
+
+    def heal_site(self, site: str) -> List[str]:
+        """Restore every boundary link of *site*; returns their names."""
+        if self.network is None:
+            raise ValueError("injector built without a network")
+        names = [link.name for link in self.network.boundary_links(site)]
+        for link_name in names:
+            self.network.restore_link(link_name)
+        self.log.append((self.env.now, "site-heal", site))
+        return names
+
+    def apply_site_fault(self, fault: SiteFault) -> None:
+        """Fire one planned site fault now."""
+        if fault.kind == "site-partition":
+            self.partition_site(fault.site)
+        elif fault.kind == "site-heal":
+            self.heal_site(fault.site)
+        else:  # pragma: no cover - guarded by SiteFault validation
+            raise ValueError(f"unknown site fault kind {fault.kind!r}")
+
     # -- service faults ---------------------------------------------------
     def crash_services(self, torn_checkpoint: bool = False) -> None:
         """Kill the SessionService + AIDA manager processes.
@@ -361,6 +432,10 @@ class FailureInjector:
             procs.append(self.env.process(self._fire_at(fault)))
         for service_fault in sorted(plan.service_faults, key=lambda f: f.at):
             procs.append(self.env.process(self._fire_service_at(service_fault)))
+        for site_fault in sorted(
+            plan.site_faults, key=lambda f: (f.at, f.site)
+        ):
+            procs.append(self.env.process(self._fire_site_at(site_fault)))
         if plan.probabilistic():
             procs.append(self.env.process(self._roll(plan)))
         return procs
@@ -376,6 +451,12 @@ class FailureInjector:
         if delay > 0:
             yield self.env.timeout(delay)
         self.apply_service_fault(fault)
+
+    def _fire_site_at(self, fault: SiteFault):
+        delay = fault.at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.apply_site_fault(fault)
 
     def _roll(self, plan: FaultPlan):
         rng = random.Random(plan.seed)

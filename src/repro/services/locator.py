@@ -55,11 +55,18 @@ class DatasetLocation:
 
 
 class LocatorService:
-    """Resolves dataset identifiers to :class:`DatasetLocation` records."""
+    """Resolves dataset identifiers to :class:`DatasetLocation` records.
 
-    def __init__(self) -> None:
+    ``site_id`` names the grid site this locator serves.  It is carried
+    in every update-hook callback so that federated catalogs subscribed
+    to many locators can invalidate only the affected site's replicas
+    instead of every copy everywhere.
+    """
+
+    def __init__(self, site_id: Optional[str] = None) -> None:
+        self.site_id = site_id
         self._locations: Dict[str, DatasetLocation] = {}
-        self._update_hooks: List[Callable[[str], None]] = []
+        self._update_hooks: List[Callable[[str, Optional[str]], None]] = []
 
     def add_location(self, location: DatasetLocation) -> None:
         """Register where a dataset lives (one location per id)."""
@@ -86,10 +93,12 @@ class LocatorService:
             )
         self._locations[location.dataset_id] = location
         for hook in self._update_hooks:
-            hook(location.dataset_id)
+            hook(location.dataset_id, self.site_id)
 
-    def add_update_hook(self, hook: Callable[[str], None]) -> None:
-        """Call *hook(dataset_id)* whenever a location is replaced."""
+    def add_update_hook(
+        self, hook: Callable[[str, Optional[str]], None]
+    ) -> None:
+        """Call *hook(dataset_id, site_id)* whenever a location is replaced."""
         self._update_hooks.append(hook)
 
     def locate(self, dataset_id: str) -> DatasetLocation:

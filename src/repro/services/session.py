@@ -534,6 +534,13 @@ class SessionService:
         #: already ran to completion before the crash).
         self._tombstones: set = set()
 
+    @property
+    def active_sessions(self) -> int:
+        """Open (not yet closed) sessions — the broker's queue-depth signal."""
+        return sum(
+            1 for session in self._sessions.values() if not session["closed"]
+        )
+
     # -- durability helpers -------------------------------------------------
     def _journal(self, session_id: str) -> Optional[SessionJournal]:
         if self.durability is None:

@@ -167,6 +167,12 @@ def test_event_vocabulary_is_pinned():
         "slo_recovered",
         "straggler_detected",
         "straggler_recovered",
+        "federation_session_brokered",
+        "federation_failover",
+        "federation_replica_migrated",
+        "federation_replica_evicted",
+        "site_partitioned",
+        "site_healed",
     )
     assert SEVERITIES == ("debug", "info", "warning", "error")
 

@@ -1,0 +1,143 @@
+"""Property: chaos never changes the physics, only the wall clock.
+
+Seeded interleavings of site partitions, brokered failovers, heals, and
+replica migrations are thrown at a federated session; whatever path the
+session takes across sites, the merged AIDA tree must stay bit-identical
+(exact dict equality) to the single-site reference run.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import higgs
+from repro.client import IPAClient
+from repro.core import GridSite, SiteConfig
+from repro.federation import FederatedClient, Federation
+
+DS = "ilc-chaos"
+SIZE_MB = 40.0
+N_EVENTS = 4_000
+CONTENT = {"kind": "ilc", "seed": 11}
+
+_reference_cache = {}
+
+
+def small_config():
+    return SiteConfig(n_workers=4)
+
+
+def reference_tree():
+    """Single-site merged tree (computed once per test run)."""
+    if "tree" not in _reference_cache:
+        site = GridSite(small_config())
+        site.register_dataset(
+            DS,
+            "/chaos",
+            size_mb=SIZE_MB,
+            n_events=N_EVENTS,
+            content=CONTENT,
+            origin_host=None,
+        )
+        client = IPAClient(site, site.enroll_user("/O=ILC/CN=ref"))
+        out = {}
+
+        def scenario():
+            yield from client.obtain_proxy_and_connect(dataset_hint=DS)
+            yield from client.select_dataset(DS)
+            yield from client.upload_code(higgs.SOURCE)
+            yield from client.run()
+            final = yield from client.wait_for_completion(poll_interval=5.0)
+            out["tree"] = final.tree.to_dict()
+            yield from client.close()
+
+        site.env.run(until=site.env.process(scenario()))
+        _reference_cache["tree"] = out["tree"]
+    return _reference_cache["tree"]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_chaos_interleaving_keeps_tree_bit_identical(seed):
+    rng = random.Random(seed)
+    n_sites = rng.choice([2, 3])
+    fed = Federation(n_sites=n_sites, site_config=small_config())
+    fed.register_dataset(
+        DS,
+        "/chaos",
+        size_mb=SIZE_MB,
+        n_events=N_EVENTS,
+        content=CONTENT,
+        home="site1",
+    )
+    client = FederatedClient(fed, fed.enroll_user("/O=ILC/CN=chaos"))
+    partition_delay = rng.uniform(1.0, 30.0)
+    heal_after = rng.uniform(15.0, 60.0)
+    victim = rng.choice(fed.site_names)
+    out = {}
+
+    def chaos():
+        yield fed.env.timeout(partition_delay)
+        fed.partition_site(victim)
+        yield fed.env.timeout(heal_after)
+        fed.heal_site(victim)
+
+    def scenario():
+        # Replicate first so a failover target always has the data; the
+        # chaos clock only starts once the second copy is in place.
+        yield from fed.policy.ensure_pinned(DS, 2)
+        fed.env.process(chaos())
+        yield from client.connect(dataset_hint=DS)
+        out["route"] = [client.site_name]
+        yield from client.select_dataset(DS)
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=5.0)
+        out["route"].append(client.site_name)
+        out["tree"] = final.tree.to_dict()
+        yield from client.close()
+
+    fed.run(until=fed.env.process(scenario()))
+
+    assert out["tree"] == reference_tree()
+    stats = fed.stats()
+    if victim == out["route"][0] and out["route"][0] != out["route"][1]:
+        assert stats["failovers"] >= 1
+    # the partition healed, so the fabric ends fully available
+    assert not any(row["partitioned"] for row in stats["sites"])
+
+
+@pytest.mark.parametrize("seed", [100, 101])
+def test_chaos_migration_after_heal_stays_warm_and_identical(seed):
+    """Post-heal sessions at a migrated site reuse the copy (no new WAN)."""
+    rng = random.Random(seed)
+    fed = Federation(n_sites=2, site_config=small_config())
+    fed.register_dataset(
+        DS,
+        "/chaos",
+        size_mb=SIZE_MB,
+        n_events=N_EVENTS,
+        content=CONTENT,
+        home="site1",
+    )
+    out = {}
+
+    def scenario():
+        yield from fed.policy.ensure_resident(DS, "site2")
+        fed.partition_site("site1")
+        yield fed.env.timeout(rng.uniform(1.0, 10.0))
+        fed.heal_site("site1")
+        client = FederatedClient(fed, fed.enroll_user("/O=ILC/CN=late"))
+        yield from client.connect(dataset_hint=DS, site="site2")
+        staged = yield from client.select_dataset(DS)
+        out["fetch_skipped"] = staged.fetch_skipped
+        yield from client.upload_code(higgs.SOURCE)
+        yield from client.run()
+        final = yield from client.wait_for_completion(poll_interval=5.0)
+        out["tree"] = final.tree.to_dict()
+        yield from client.close()
+
+    fed.run(until=fed.env.process(scenario()))
+
+    assert out["fetch_skipped"] is True
+    assert out["tree"] == reference_tree()
+    assert fed.stats()["migrations"] == 1
